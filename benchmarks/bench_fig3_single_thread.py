@@ -1,0 +1,51 @@
+"""Figure 3 — single-thread throughput for metadata operations (§5.1).
+
+Regenerates the figure's series for all nine systems, plus the data-path
+point the paper reports in prose ("For read and write operations, ArckFS+
+achieves throughput comparable to ArckFS").
+"""
+
+from repro.perf.runner import run_workload
+from repro.perf.stats import format_table
+from repro.workloads.microbench import METADATA_OPS
+
+from conftest import save_and_print
+
+SYSTEMS = ["arckfs+", "arckfs", "ext4", "pmfs", "nova", "odinfs", "winefs",
+           "splitfs", "strata"]
+OPS = ["create", "open", "delete", "rename", "stat"]
+DATA_OPS = ["read-4k", "write-4k"]
+PAPER_RATIOS = {"open": 83.3, "create": 92.8, "delete": 92.2}
+
+
+def test_fig3_single_thread(benchmark):
+    def run():
+        table = {}
+        for fs in SYSTEMS:
+            table[fs] = {}
+            for op in OPS + DATA_OPS:
+                table[fs][op] = run_workload(fs, METADATA_OPS[op], 1).mops
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [format_table("Figure 3: single-thread metadata throughput",
+                          "fs", OPS + DATA_OPS, table, unit="Mops/s")]
+    lines.append("")
+    lines.append("ArckFS+ / ArckFS ratios vs paper:")
+    for op in OPS:
+        ratio = table["arckfs+"][op] / table["arckfs"][op] * 100
+        paper = PAPER_RATIOS.get(op)
+        paper_s = f"{paper:.1f}%" if paper else "  (not reported)"
+        lines.append(f"  {op:8s} measured {ratio:6.2f}%   paper {paper_s}")
+    for op in DATA_OPS:
+        ratio = table["arckfs+"][op] / table["arckfs"][op] * 100
+        lines.append(f"  {op:8s} measured {ratio:6.2f}%   paper: 'comparable'")
+    save_and_print("fig3_single_thread", "\n".join(lines))
+
+    # Acceptance: the paper's reported drops, and ArckFS on top overall.
+    for op, paper in PAPER_RATIOS.items():
+        ratio = table["arckfs+"][op] / table["arckfs"][op] * 100
+        assert abs(ratio - paper) < 2.0
+    for op in OPS:
+        assert table["arckfs"][op] == max(table[fs][op] for fs in SYSTEMS)

@@ -1,0 +1,44 @@
+"""Figure 4 — metadata scalability of FxMark (§5.2).
+
+Regenerates every subplot: 12 metadata workloads × 9 systems over the
+thread sweep.  A reduced virtual-time horizon keeps the sweep fast; the
+calibrated full-horizon ratios live in bench_table2_relative.py.
+"""
+
+from repro.perf.runner import sweep
+from repro.perf.stats import format_table
+from repro.workloads.fxmark import FXMARK, METADATA_WORKLOADS
+
+from conftest import save_and_print
+
+SYSTEMS = ["arckfs+", "arckfs", "ext4", "pmfs", "nova", "odinfs", "winefs",
+           "splitfs", "strata"]
+THREADS = [1, 4, 16, 48]
+HORIZON = 500_000.0
+
+
+def test_fig4_fxmark_scalability(benchmark):
+    def run():
+        return {
+            name: sweep(SYSTEMS, FXMARK[name], THREADS, horizon_ns=HORIZON)
+            for name in METADATA_WORKLOADS
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    blocks = []
+    for name in METADATA_WORKLOADS:
+        blocks.append(format_table(
+            f"Figure 4 / {name}: {FXMARK[name].description}",
+            "fs", THREADS, results[name], unit="Mops/s"))
+        blocks.append("")
+    save_and_print("fig4_fxmark_scalability", "\n".join(blocks))
+
+    # Acceptance (shape): the ArckFS family leads every workload at 48
+    # threads among the *secure* systems, and scales from 1 to 48 threads.
+    for name in METADATA_WORKLOADS:
+        r = results[name]
+        best_arck = max(r["arckfs+"][48], r["arckfs"][48])
+        for fs in ("ext4", "pmfs", "nova", "winefs", "splitfs", "strata"):
+            assert best_arck > r[fs][48], f"{name}: {fs} beats ArckFS"
+        assert r["arckfs+"][48] > r["arckfs+"][1], f"{name}: ArckFS+ did not scale"

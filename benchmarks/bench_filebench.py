@@ -1,0 +1,61 @@
+"""§5.3 Filebench — Webproxy and Varmail under the paper's new
+shared-directory framework (per-filename locks), at 1 and 16 threads.
+
+The private-directory variant of the Trio artifact is included for
+comparison, plus one functional engine run on the real LibFS.
+"""
+
+from repro.perf.runner import run_workload
+from repro.workloads.filebench import FILEBENCH_SIMS, FilebenchEngine, WEBPROXY
+
+from conftest import save_and_print
+
+PAPER = {("webproxy", 1): 101.1, ("webproxy", 16): 97.1,
+         ("varmail", 1): 102.1, ("varmail", 16): 98.8}
+SYSTEMS = ["arckfs+", "arckfs", "ext4", "nova", "strata"]
+
+
+def test_filebench(benchmark, arckfs_plus_fs):
+    def run():
+        sim = {}
+        for name, workload in FILEBENCH_SIMS.items():
+            sim[name] = {}
+            for threads in (1, 16):
+                sim[name][threads] = {
+                    fs: run_workload(fs, workload, threads).mops for fs in SYSTEMS
+                }
+        engine = FilebenchEngine(arckfs_plus_fs, WEBPROXY, nthreads=4, shared=True)
+        flowops = engine.run(loops_per_thread=4)
+        return sim, flowops
+
+    sim, flowops = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["== Filebench (new shared-directory framework + artifact variant) =="]
+    lines.append(f"{'workload':<20}{'threads':>8}" + "".join(f"{s:>10}" for s in SYSTEMS)
+                 + f"{'+/arck':>9}{'paper':>8}")
+    lines.append("-" * 95)
+    for name, per_threads in sim.items():
+        personality = name.split("-")[0]
+        for threads, row in per_threads.items():
+            ratio = row["arckfs+"] / row["arckfs"] * 100
+            paper = PAPER.get((personality, threads))
+            paper_s = f"{paper:.1f}%" if paper and name.endswith("shared") else "   --"
+            lines.append(
+                f"{name:<20}{threads:>8}"
+                + "".join(f"{row[s]:>10.3f}" for s in SYSTEMS)
+                + f"{ratio:>8.1f}%{paper_s:>8}"
+            )
+    lines.append("")
+    lines.append(f"functional engine (ArckFS+, webproxy-shared, 4 threads): "
+                 f"{flowops} flowops executed")
+    save_and_print("filebench", "\n".join(lines))
+
+    # Acceptance: ArckFS+ within a few percent of ArckFS everywhere (the
+    # paper's 'comparable performance'), and both far above the kernel FSes.
+    for name, per_threads in sim.items():
+        for threads, row in per_threads.items():
+            ratio = row["arckfs+"] / row["arckfs"] * 100
+            assert 95.0 < ratio < 105.0, (name, threads, ratio)
+            assert row["arckfs+"] > row["ext4"]
+            assert row["arckfs+"] > row["strata"]
+    assert flowops > 0

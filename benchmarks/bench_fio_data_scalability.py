@@ -1,0 +1,49 @@
+"""§5.1 data performance + §5.2 data scalability (fio & FxMark data ops).
+
+Regenerates the fio thread sweeps: the ArckFS family (direct access +
+I/O delegation) and OdinFS (delegation) on top once PM bandwidth/NUMA
+effects kick in, ArckFS+ ≈ ArckFS throughout.
+"""
+
+from repro.perf.runner import sweep
+from repro.perf.stats import format_table
+from repro.workloads.fio import FIO_WORKLOADS
+from repro.workloads.fxmark import DATA_WORKLOADS
+
+from conftest import save_and_print
+
+SYSTEMS = ["arckfs+", "arckfs", "ext4", "pmfs", "nova", "odinfs", "winefs",
+           "splitfs", "strata"]
+THREADS = [1, 4, 8, 24, 48]
+
+
+def test_fio_data_scalability(benchmark):
+    def run():
+        out = {name: sweep(SYSTEMS, w, THREADS)
+               for name, w in FIO_WORKLOADS.items()}
+        out.update({name: sweep(SYSTEMS, w, THREADS)
+                    for name, w in DATA_WORKLOADS.items()})
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    blocks = []
+    for name in list(FIO_WORKLOADS) + list(DATA_WORKLOADS):
+        r = results[name]
+        gibs = {
+            fs: {t: mops * 1e6 * 4096 / (1024**3) for t, mops in series.items()}
+            for fs, series in r.items()
+        }
+        blocks.append(format_table(f"fio {name} (4 KiB blocks)", "fs",
+                                   THREADS, gibs, unit="GiB/s"))
+        blocks.append("")
+    save_and_print("fio_data_scalability", "\n".join(blocks))
+
+    for name, r in results.items():
+        # §5.1/§5.2: the data path is identical across the two variants.
+        for t in THREADS:
+            ratio = r["arckfs+"][t] / r["arckfs"][t]
+            assert 0.98 < ratio < 1.02, (name, t, ratio)
+        # §5.2: at full scale the delegating systems lead the plain kernel FSes.
+        assert r["arckfs+"][48] >= r["pmfs"][48]
+        assert r["odinfs"][48] >= r["nova"][48]

@@ -1,0 +1,93 @@
+"""Real-time (wall-clock) microbenchmarks of the functional LibFS.
+
+Unlike the DES reproductions, these measure the actual Python
+implementation with pytest-benchmark — useful for tracking regressions in
+the functional code paths, and for comparing the two variants' *operation
+counts* (fences, PM bytes) which are what the simulated figures build on.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.config import ARCKFS, ARCKFS_PLUS
+from repro.kernel.controller import KernelController
+from repro.libfs.libfs import LibFS
+from repro.pm.device import PMDevice
+
+
+def _fs(config):
+    device = PMDevice(128 * 1024 * 1024, crash_tracking=False)
+    kernel = KernelController.fresh(device, inode_count=16384, config=config)
+    return device, LibFS(kernel, "bench", uid=0, config=config)
+
+
+@pytest.fixture(params=["arckfs", "arckfs+"])
+def variant_fs(request):
+    config = ARCKFS_PLUS if request.param == "arckfs+" else ARCKFS
+    device, fs = _fs(config)
+    fs.mkdir("/bench")
+    return device, fs
+
+
+def test_bench_create(benchmark, variant_fs):
+    _device, fs = variant_fs
+    counter = itertools.count()
+
+    def op():
+        fs.close(fs.creat(f"/bench/f{next(counter)}"))
+
+    benchmark(op)
+
+
+def test_bench_open_close(benchmark, variant_fs):
+    _device, fs = variant_fs
+    fs.makedirs("/bench/a/b/c/d")
+    fs.write_file("/bench/a/b/c/d/target", b"x")
+
+    def op():
+        fs.close(fs.open("/bench/a/b/c/d/target"))
+
+    benchmark(op)
+
+
+def test_bench_stat(benchmark, variant_fs):
+    _device, fs = variant_fs
+    fs.write_file("/bench/target", b"x")
+    benchmark(lambda: fs.stat("/bench/target"))
+
+
+def test_bench_write_4k(benchmark, variant_fs):
+    _device, fs = variant_fs
+    fd = fs.creat("/bench/data")
+    payload = b"w" * 4096
+    counter = itertools.count()
+
+    def op():
+        fs.pwrite(fd, payload, (next(counter) % 256) * 4096)
+
+    benchmark(op)
+
+
+def test_bench_read_4k(benchmark, variant_fs):
+    _device, fs = variant_fs
+    fd = fs.creat("/bench/data")
+    fs.pwrite(fd, b"r" * (256 * 4096), 0)
+    counter = itertools.count()
+
+    def op():
+        fs.pread(fd, 4096, (next(counter) % 256) * 4096)
+
+    benchmark(op)
+
+
+def test_create_fence_counts(variant_fs):
+    """The §4.2 patch is exactly one extra fence per creation."""
+    device, fs = variant_fs
+    before = device.stats.fences
+    fs.close(fs.creat("/bench/fcount"))
+    fences = device.stats.fences - before
+    if fs.config.fence_before_marker:
+        assert fences >= 3
+    else:
+        assert fences >= 2

@@ -1,0 +1,48 @@
+"""Table 1 — the six ArckFS bugs and their ArckFS+ patches.
+
+Regenerates the table by running every bug demonstration under both
+configurations: each must manifest under ArckFS and be absent under
+ArckFS+.  The timed portion is one full two-config sweep.
+"""
+
+from repro.bugs import run_all
+from repro.core.config import ARCKFS, ARCKFS_PLUS
+
+from conftest import save_and_print
+
+PATCHES = {
+    "4.1": "Use commit for directory relocation",
+    "4.2": "Add a memory fence",
+    "4.3": "Acquire locks on inode release",
+    "4.4": "Extend bucket lock to PM",
+    "4.5": "Introduce RCU to the bucket",
+    "4.6": "Add a lock and descendant check",
+}
+
+
+def _render(buggy, fixed) -> str:
+    lines = ["== Table 1: Bugs in ArckFS and their patches in ArckFS+ =="]
+    lines.append(f"{'Bug':<6}{'Title':<48}{'ArckFS':<14}{'ArckFS+':<14}Patch")
+    lines.append("-" * 120)
+    for b, f in zip(buggy, fixed):
+        lines.append(
+            f"§{b.bug:<5}{b.title:<48}"
+            f"{'MANIFESTED' if b.manifested else 'ok':<14}"
+            f"{'MANIFESTED' if f.manifested else 'fixed':<14}"
+            f"{PATCHES[b.bug]}"
+        )
+    lines.append("")
+    lines.append("details (ArckFS):")
+    for b in buggy:
+        lines.append(f"  §{b.bug}: {b.detail}")
+    return "\n".join(lines)
+
+
+def test_table1_bugs(benchmark):
+    def sweep():
+        return run_all(ARCKFS), run_all(ARCKFS_PLUS)
+
+    buggy, fixed = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert all(o.manifested for o in buggy)
+    assert not any(o.manifested for o in fixed)
+    save_and_print("table1_bugs", _render(buggy, fixed))

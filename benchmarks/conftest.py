@@ -1,0 +1,30 @@
+"""Benchmark-harness helpers: result persistence and common factories."""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_and_print(name: str, text: str) -> None:
+    """Write the regenerated table to benchmarks/results/ and echo it."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    print()
+    print(text)
+    print(f"[saved to {path}]")
+
+
+@pytest.fixture
+def arckfs_plus_fs():
+    from repro.core.config import ARCKFS_PLUS
+    from repro.kernel.controller import KernelController
+    from repro.libfs.libfs import LibFS
+    from repro.pm.device import PMDevice
+
+    device = PMDevice(64 * 1024 * 1024, crash_tracking=False)
+    kernel = KernelController.fresh(device, inode_count=4096, config=ARCKFS_PLUS)
+    return LibFS(kernel, "bench", uid=0, config=ARCKFS_PLUS)

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: a Trio kernel + an ArckFS+ LibFS in 40 lines.
+
+Creates a simulated PM device, formats and mounts it, runs an application
+through the POSIX-like API, crashes the machine, and recovers.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.config import ARCKFS_PLUS
+from repro.kernel.controller import KernelController
+from repro.libfs.libfs import LibFS
+from repro.pm.device import PMDevice
+
+
+def main() -> None:
+    # A 64 MiB simulated persistent-memory device and the trusted kernel.
+    device = PMDevice(64 * 1024 * 1024)
+    kernel = KernelController.fresh(device, inode_count=1024, config=ARCKFS_PLUS)
+
+    # One application's LibFS: direct userspace access, no syscalls on the
+    # hot path, synchronous persistence.
+    fs = LibFS(kernel, "app1", uid=1000)
+
+    fs.mkdir("/projects")
+    fd = fs.creat("/projects/notes.txt")
+    fs.pwrite(fd, b"ArckFS+ reproduces the SOSP'25 paper.\n", 0)
+    fs.fsync(fd)  # returns immediately: everything is already durable
+    fs.close(fd)
+
+    fs.mkdir("/archive")
+    fs.rename("/projects/notes.txt", "/archive/notes.txt")
+    print("directory tree:", fs.readdir("/"), fs.readdir("/archive"))
+    print("stat:", fs.stat("/archive/notes.txt"))
+
+    # Hand everything back to the kernel: each release verifies the inode's
+    # core state against the shadow table (the Trio architecture's deal).
+    fs.release_all()
+    print(f"kernel verified {kernel.stats.bytes_verified} bytes across "
+          f"{kernel.stats.verifications} verifications")
+
+    # Pull the plug: reboot from the durable image only.
+    image = device.durable_image()
+    kernel2 = KernelController.mount(PMDevice.from_image(image))
+    print("recovery report:", kernel2.last_recovery)
+
+    fs2 = LibFS(kernel2, "app-after-reboot", uid=1000)
+    fd = fs2.open("/archive/notes.txt")
+    print("recovered content:", fs2.pread(fd, 100, 0).decode().strip())
+    fs2.close(fd)
+
+
+if __name__ == "__main__":
+    main()

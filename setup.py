@@ -1,0 +1,9 @@
+"""Shim for legacy editable installs (offline environments without `wheel`).
+
+All metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

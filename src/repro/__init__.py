@@ -1,0 +1,18 @@
+"""repro — *Analyzing and Enhancing ArckFS* (SOSP 2025) in simulation.
+
+Top-level convenience exports; the subpackages are the real API surface:
+
+* :mod:`repro.pm` — simulated persistent memory (crash-state enumeration);
+* :mod:`repro.kernel` — the Trio trusted side (controller + verifier);
+* :mod:`repro.libfs` — ArckFS / ArckFS+ (the paper's subject);
+* :mod:`repro.basefs` — the seven comparison file systems;
+* :mod:`repro.bugs` — the Table 1 bug demonstrations;
+* :mod:`repro.kv` — the LevelDB-like LSM store;
+* :mod:`repro.perf` / :mod:`repro.workloads` — the evaluation harness.
+"""
+
+from repro.core.config import ARCKFS, ARCKFS_PLUS, ArckConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["ARCKFS", "ARCKFS_PLUS", "ArckConfig", "__version__"]

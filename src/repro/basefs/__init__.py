@@ -1,0 +1,67 @@
+"""Comparison file systems from the paper's evaluation (§5).
+
+The paper compares ArckFS+/ArckFS against ext4, PMFS, NOVA, OdinFS, WineFS,
+SplitFS and Strata.  These are *structural models*, not reimplementations:
+each captures the properties that determine the evaluation's shape —
+
+* kernel FSes (ext4/PMFS/NOVA/WineFS/OdinFS) pay a syscall + VFS path walk
+  per operation and serialize on VFS-level locks (a per-directory inode
+  mutex; ext4 additionally on a journal);
+* ext4 journals metadata (JBD2-style redo journal, implemented for real:
+  transactions, commit blocks, replay on mount);
+* PMFS/NOVA/WineFS are PM-native: byte-granular persistence with
+  fences, NOVA with per-inode operation logs;
+* OdinFS adds per-socket delegation threads for data ops;
+* SplitFS splits: data ops in userspace staging, metadata ops through the
+  kernel;
+* Strata appends to a per-process userspace log and *digests* through a
+  trusted layer, paying verification on every metadata operation (the
+  "verify every metadata operation" camp of the paper's introduction).
+
+All implement :class:`~repro.basefs.base.FileSystem`, the same interface
+the ArckFS LibFS satisfies, so every workload in ``repro.workloads`` runs
+unmodified on every system.  The performance model in ``repro.perf``
+carries per-FS operation recipes that mirror these structures.
+"""
+
+from repro.basefs.base import FileSystem
+from repro.basefs.vfs import VFSKernelFS
+from repro.basefs.ext4 import Ext4FS
+from repro.basefs.pmfs import PMFS, WineFS
+from repro.basefs.nova import NovaFS, OdinFS
+from repro.basefs.splitfs import SplitFS
+from repro.basefs.strata import StrataFS
+
+__all__ = [
+    "FileSystem",
+    "VFSKernelFS",
+    "Ext4FS",
+    "PMFS",
+    "WineFS",
+    "NovaFS",
+    "OdinFS",
+    "SplitFS",
+    "StrataFS",
+    "make_baseline",
+]
+
+
+def make_baseline(name: str, device=None, **kwargs) -> FileSystem:
+    """Instantiate a baseline by its evaluation name."""
+    from repro.pm.device import PMDevice
+
+    if device is None:
+        device = PMDevice(64 * 1024 * 1024, crash_tracking=False)
+    table = {
+        "ext4": Ext4FS,
+        "pmfs": PMFS,
+        "winefs": WineFS,
+        "nova": NovaFS,
+        "odinfs": OdinFS,
+        "splitfs": SplitFS,
+        "strata": StrataFS,
+    }
+    cls = table.get(name)
+    if cls is None:
+        raise ValueError(f"unknown baseline {name!r} (have {sorted(table)})")
+    return cls(device, **kwargs)

@@ -1,0 +1,75 @@
+"""PMFS and WineFS models.
+
+PMFS is the canonical in-place PM kernel FS: byte-granular metadata updates
+persisted with clwb+fence, fine-grained undo logging for multi-word
+updates.  We model the undo log as a small per-op journal of *old* values
+written before the in-place update (so a crash can roll back a torn
+operation) — the inverse of ext4's redo journal.
+
+WineFS is PMFS-like but with a hugepage-aware allocator that keeps
+allocations aligned to preserve hugepage mappings as the FS ages; we model
+the allocation policy (alignment-first placement) — the performance-side
+difference is carried by the cost model.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+from typing import List, Tuple
+
+from repro.basefs.vfs import VFSKernelFS
+from repro.pm.device import PMDevice
+
+_UNDO_HDR = struct.Struct("<QI")
+
+
+class PMFS(VFSKernelFS):
+    name = "pmfs"
+
+    UNDO_BYTES = 64 * 1024
+
+    def __init__(self, device: PMDevice, inode_count: int = 4096):
+        self._undo_local = threading.local()
+        self._undo_ready = False
+        super().__init__(device, inode_count=inode_count)
+        self._undo_start = device.size - self.UNDO_BYTES
+        self._undo_lock = threading.Lock()
+        self._undo_head = self._undo_start
+        self._undo_ready = True
+
+    def _meta_write(self, addr: int, data: bytes) -> None:
+        if self._undo_ready:
+            # Log the old value before overwriting (undo journaling).
+            old = self.device.load(addr, len(data))
+            with self._undo_lock:
+                head = self._undo_head
+                record = _UNDO_HDR.pack(addr, len(old)) + old
+                if head + len(record) > self.device.size:
+                    head = self._undo_start
+                self.device.store(head, record)
+                self.device.clwb(head, len(record))
+                self._undo_head = head + (len(record) + 7) // 8 * 8
+            self.device.sfence()
+        super()._meta_write(addr, data)
+
+
+class WineFS(PMFS):
+    name = "winefs"
+
+    #: hugepage size the allocator tries to keep intact.
+    HUGEPAGE_PAGES = 512  # 2 MiB of 4 KiB pages
+
+    def __init__(self, device: PMDevice, inode_count: int = 4096):
+        super().__init__(device, inode_count=inode_count)
+        self.unaligned_allocs = 0
+
+    def _grow_file(self, vn, needed_pages: int) -> None:
+        """Alignment-aware growth: large files get hugepage-aligned runs."""
+        while len(vn.pages) < needed_pages:
+            page = self.alloc.alloc(zero=True)
+            if needed_pages >= self.HUGEPAGE_PAGES and (
+                (page - 1) % self.HUGEPAGE_PAGES != len(vn.pages) % self.HUGEPAGE_PAGES
+            ):
+                self.unaligned_allocs += 1
+            vn.pages.append(page)

@@ -1,0 +1,127 @@
+"""SplitFS model: userspace data path over a kernel metadata path.
+
+SplitFS serves reads and (appending) writes from a userspace library via
+memory-mapped *staging* files and relinks staged blocks into the target
+file on fsync, while every metadata operation (create, unlink, rename,
+readdir, ...) falls through to the kernel FS (ext4 in the original).
+
+Structure captured here: ``pwrite``/``pread`` cost no syscall (they hit
+the staging overlay); ``fsync`` performs the relink through the kernel;
+metadata ops are kernel ops.  This is exactly why SplitFS sits between
+the kernel FSes and ArckFS in the paper's metadata benchmarks (its data
+path is fast, its metadata path is not).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Tuple
+
+from repro.basefs.base import FileSystem
+from repro.basefs.ext4 import Ext4FS
+from repro.libfs.libfs import StatResult
+from repro.pm.device import PMDevice
+
+
+class SplitFS(FileSystem):
+    name = "splitfs"
+
+    def __init__(self, device: PMDevice, inode_count: int = 4096):
+        self.kernel_fs = Ext4FS(device, inode_count=inode_count)
+        self._lock = threading.Lock()
+        #: fd -> {offset-aligned staged extents}
+        self._staged: Dict[int, List[Tuple[int, bytes]]] = {}
+        self.userspace_writes = 0
+        self.userspace_reads = 0
+        self.relinks = 0
+
+    # -- metadata: straight to the kernel --------------------------------- #
+
+    def creat(self, path: str, mode: int = 0o664) -> int:
+        fd = self.kernel_fs.creat(path, mode)
+        with self._lock:
+            self._staged[fd] = []
+        return fd
+
+    def open(self, path: str, create: bool = False, mode: int = 0o664) -> int:
+        fd = self.kernel_fs.open(path, create=create, mode=mode)
+        with self._lock:
+            self._staged[fd] = []
+        return fd
+
+    def close(self, fd: int) -> None:
+        self.fsync(fd)
+        with self._lock:
+            self._staged.pop(fd, None)
+        self.kernel_fs.close(fd)
+
+    def unlink(self, path: str) -> None:
+        self.kernel_fs.unlink(path)
+
+    def truncate(self, path: str, size: int) -> None:
+        self.kernel_fs.truncate(path, size)
+
+    def mkdir(self, path: str, mode: int = 0o775) -> None:
+        self.kernel_fs.mkdir(path, mode)
+
+    def rmdir(self, path: str) -> None:
+        self.kernel_fs.rmdir(path)
+
+    def readdir(self, path: str) -> List[str]:
+        return self.kernel_fs.readdir(path)
+
+    def rename(self, oldpath: str, newpath: str) -> None:
+        self.kernel_fs.rename(oldpath, newpath)
+
+    def stat(self, path: str) -> StatResult:
+        st = self.kernel_fs.stat(path)
+        # Account for staged-but-unrelinked appends.
+        with self._lock:
+            staged_end = 0
+            for fd, extents in self._staged.items():
+                for off, data in extents:
+                    staged_end = max(staged_end, off + len(data))
+        if staged_end > st.size:
+            st = StatResult(st.ino, st.itype, staged_end, st.mode, st.uid, st.gen)
+        return st
+
+    # -- data: userspace staging ------------------------------------------ #
+
+    def pwrite(self, fd: int, data: bytes, offset: int) -> int:
+        with self._lock:
+            if fd not in self._staged:
+                self._staged[fd] = []
+            self._staged[fd].append((offset, bytes(data)))
+        self.userspace_writes += 1
+        return len(data)
+
+    def pread(self, fd: int, n: int, offset: int) -> bytes:
+        self.userspace_reads += 1
+        base = self.kernel_fs.pread(fd, n, offset)
+        with self._lock:
+            extents = list(self._staged.get(fd, ()))
+        if not extents:
+            return base
+        # Visible size = kernel size overlaid with staged extents.
+        entry = self.kernel_fs._fd(fd)
+        visible = max(entry.vnode.rec.size,
+                      max(off + len(d) for off, d in extents))
+        count = max(0, min(n, visible - offset))
+        out = bytearray(count)
+        out[: len(base)] = base[:count]
+        for off, data in extents:
+            lo = max(off, offset)
+            hi = min(off + len(data), offset + count)
+            if lo < hi:
+                out[lo - offset : hi - offset] = data[lo - off : hi - off]
+        return bytes(out)
+
+    def fsync(self, fd: int) -> None:
+        """The relink: staged extents become part of the real file."""
+        with self._lock:
+            extents = self._staged.get(fd, [])
+            self._staged[fd] = []
+        for off, data in extents:
+            self.kernel_fs.pwrite(fd, data, off)
+            self.relinks += 1
+        self.kernel_fs.fsync(fd)

@@ -1,0 +1,82 @@
+"""§4.2 — Partially persisted dentry and inode (missing memory fence).
+
+The creation protocol flushes the dentry body and inode record without a
+fence, then sets and flushes the commit marker.  Until the *final* fence,
+the marker's cache line can be evicted — and hence persisted — ahead of the
+body/inode lines.  The paper makes the window observable by flushing the
+marker line and sleeping right after the marker store; we place a crash
+point there (failpoint ``create.post_marker``) and *enumerate every
+reachable crash state* of the device.
+
+Manifestation: at least one crash image whose recovery finds a dentry with
+a valid commit marker whose inode record (or name bytes) never persisted.
+The ArckFS+ fence removes every such state.
+"""
+
+from __future__ import annotations
+
+from repro.bugs.harness import BugOutcome, make_fs
+from repro.concurrency.failpoints import failpoints
+from repro.core.config import ArckConfig
+from repro.errors import CrashPoint
+from repro.kernel.controller import KernelController
+from repro.pm.device import PMDevice
+
+#: Long enough that the dentry record spans two cache lines.
+VICTIM = "/victim-with-a-rather-long-file-name.dat"
+
+
+def _crash_at_marker(config: ArckConfig) -> PMDevice:
+    """Run creat() and 'crash' right after the commit-marker flush."""
+    device, _kernel, fs = make_fs(config)
+
+    def crash(_ctx):
+        raise CrashPoint("machine dies after the marker store+flush")
+
+    failpoints.install("create.post_marker", crash)
+    try:
+        fs.creat(VICTIM)
+        raise AssertionError("crash point was not reached")
+    except CrashPoint:
+        pass
+    finally:
+        failpoints.remove("create.post_marker")
+    return device
+
+
+def check_image(image: bytes) -> str:
+    """Recover one crash image; return '' if consistent, else the violation."""
+    kernel = KernelController.mount(PMDevice.from_image(image))
+    report = kernel.last_recovery
+    if report.torn_dentries:
+        dir_ino, name = report.torn_dentries[0]
+        return f"committed dentry {name!r} in dir {dir_ino} with unpersisted inode"
+    names = set(kernel.shadow[0].children)
+    expected = VICTIM.strip("/").encode()
+    unexpected = names - {expected}
+    if unexpected:
+        return f"garbage dentry name recovered: {sorted(unexpected)[0]!r}"
+    return ""
+
+
+def demonstrate(config: ArckConfig) -> BugOutcome:
+    device = _crash_at_marker(config)
+    states = 0
+    violation = ""
+    for image in device.enumerate_crash_images(limit=16384):
+        states += 1
+        problem = check_image(image)
+        if problem and not violation:
+            violation = problem
+    manifested = bool(violation)
+    detail = (
+        f"{states} reachable crash states; "
+        + (f"violation found: {violation}" if manifested else "all recover consistently")
+    )
+    return BugOutcome(
+        bug="4.2",
+        title="Partially persisted dentry and inode",
+        config_name=config.name,
+        manifested=manifested,
+        detail=detail,
+    )

@@ -1,0 +1,76 @@
+"""§4.3 — Incorrect synchronization of inode sharing (voluntary release).
+
+Two manifestations, both reproduced:
+
+* **Writer vs release** — a thread mid-way through a directory write (the
+  paper inserts a ``sleep()`` there; we park at ``dir.write_mid``) while
+  another thread voluntarily releases the inode.  ArckFS unmaps immediately
+  and the writer dereferences unmapped memory → bus error.  The ArckFS+
+  releaser first takes every bucket lock, so it waits the writer out.
+
+* **Reader vs release** — ArckFS also *frees the auxiliary state* on
+  release, so a reader traversing the directory index dereferences freed
+  memory → segfault.  ArckFS+ retains the aux state and the locks, and
+  read operations use the cached in-memory inode state.
+"""
+
+from __future__ import annotations
+
+from repro.bugs.harness import BugOutcome, make_fs, race
+from repro.core.config import ArckConfig
+from repro.errors import SimulatedBusError, SimulatedSegfault
+
+
+def _writer_scenario(config: ArckConfig):
+    _device, _kernel, fs = make_fs(config)
+    fs.mkdir("/dir")
+    fd = fs.creat("/dir/f0")
+    fs.close(fd)
+    # Register /dir (and f0) in the shadow table so the voluntary release
+    # under test is a legitimate one (LibFS Rule (1)).
+    fs.commit_path("/")
+    fs.commit_path("/dir")
+    exc1, exc2 = race(
+        first=lambda: fs.unlink("/dir/f0"),
+        second=lambda: fs.release_path("/dir"),
+        parkpoint="dir.write_mid",
+    )
+    return exc1, exc2, fs
+
+
+def _reader_scenario(config: ArckConfig):
+    _device, _kernel, fs = make_fs(config)
+    fs.mkdir("/dir")
+    for i in range(4):
+        fs.close(fs.creat(f"/dir/f{i}"))
+    fs.commit_path("/")
+    fs.commit_path("/dir")
+    exc1, exc2 = race(
+        first=lambda: fs.readdir("/dir"),
+        second=lambda: fs.release_path("/dir"),
+        parkpoint="dir.bucket_traverse",
+    )
+    return exc1, exc2
+
+
+def demonstrate(config: ArckConfig) -> BugOutcome:
+    w1, w2, _fs = _writer_scenario(config)
+    r1, r2 = _reader_scenario(config)
+    crashes = []
+    if isinstance(w1, SimulatedBusError):
+        crashes.append(f"writer: {w1}")
+    if isinstance(r1, (SimulatedSegfault, SimulatedBusError)):
+        crashes.append(f"reader: {r1}")
+    unexpected = [e for e in (w1, w2, r1, r2) if e is not None and not isinstance(
+        e, (SimulatedBusError, SimulatedSegfault))]
+    if unexpected:
+        raise unexpected[0]
+    manifested = bool(crashes)
+    detail = crashes[0] if crashes else "release excluded concurrent access; no crash"
+    return BugOutcome(
+        bug="4.3",
+        title="Incorrect synchronization of inode sharing",
+        config_name=config.name,
+        manifested=manifested,
+        detail=detail,
+    )

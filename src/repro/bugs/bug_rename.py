@@ -1,0 +1,84 @@
+"""§4.1 — Cross-directory rename failure.
+
+A *legitimate* relocation of a non-empty directory makes the old parent's
+verification fail under ArckFS, because the verifier cannot tell a renamed
+child from a deleted one and rejects the apparent deletion of a non-empty
+directory (invariant I3).  The paper observed the failure "regardless of
+whether the new parent inode has been released"; we check both orders.
+
+Under ArckFS+ the LibFS follows Rules (2)/(3) (committing the new parent
+around the rename) and the verifier consults the shadow parent pointer, so
+the same sequence verifies cleanly and the relocation survives a release /
+re-mount cycle.
+"""
+
+from __future__ import annotations
+
+from repro.bugs.harness import BugOutcome, make_fs
+from repro.core.config import ArckConfig
+from repro.errors import CorruptionDetected
+
+
+def _setup(config: ArckConfig):
+    device, kernel, fs = make_fs(config)
+    fs.mkdir("/dir1")
+    fs.mkdir("/dir1/dir3")
+    fd = fs.creat("/dir1/dir3/file1")
+    fs.close(fd)
+    fs.mkdir("/dir2")
+    # Everything verified into the shadow table before the experiment.
+    fs.release_all()
+    return device, kernel, fs
+
+
+def _attempt(config: ArckConfig, release_new_parent_first: bool) -> BugOutcome:
+    device, kernel, fs = _setup(config)
+    fs.rename("/dir1/dir3", "/dir2/dir3")
+    failures = []
+    order = ["/dir2", "/dir1"] if release_new_parent_first else ["/dir1", "/dir2"]
+    for path in order:
+        try:
+            fs.release_path(path)
+        except CorruptionDetected as exc:
+            failures.append(f"{path}: {exc.reason}")
+    manifested = bool(failures)
+    if manifested:
+        detail = (
+            f"legitimate relocation rejected (new parent released "
+            f"{'first' if release_new_parent_first else 'second'}): {failures[0]}"
+        )
+    else:
+        # The relocation must actually have taken effect in the verified
+        # (shadow) tree: /dir2/dir3 exists, /dir1 is empty.
+        fs.release_all()
+        dir2_sh = kernel.shadow[_ino(kernel, "dir2")]
+        dir1_sh = kernel.shadow[_ino(kernel, "dir1")]
+        ok = b"dir3" in dir2_sh.children and b"dir3" not in dir1_sh.children
+        detail = "relocation verified cleanly" + ("" if ok else " BUT tree wrong")
+        manifested = not ok
+    return BugOutcome(
+        bug="4.1",
+        title="Cross-directory rename failure",
+        config_name=config.name,
+        manifested=manifested,
+        detail=detail,
+    )
+
+
+def _ino(kernel, name: str) -> int:
+    root = kernel.shadow[0]
+    return root.children[name.encode()]
+
+
+def demonstrate(config: ArckConfig) -> BugOutcome:
+    first = _attempt(config, release_new_parent_first=True)
+    second = _attempt(config, release_new_parent_first=False)
+    manifested = first.manifested or second.manifested
+    detail = first.detail if first.manifested else second.detail
+    return BugOutcome(
+        bug="4.1",
+        title="Cross-directory rename failure",
+        config_name=config.name,
+        manifested=manifested,
+        detail=detail,
+    )

@@ -1,0 +1,46 @@
+"""§4.4 — Inconsistent core and auxiliary states (creat vs unlink).
+
+ArckFS inserts the new entry into the DRAM hash table, drops the bucket
+lock, and only then appends the dentry to the PM log.  A concurrent
+``unlink`` of the same name finds the auxiliary entry and dereferences core
+data that does not exist yet → segmentation fault (the paper inserts a
+``sleep()`` between the two state updates; we park at
+``creat.pre_core_append``).
+
+The ArckFS+ patch extends the bucket-lock critical section over the PM
+append, so the unlink simply waits.
+"""
+
+from __future__ import annotations
+
+from repro.bugs.harness import BugOutcome, make_fs, race
+from repro.core.config import ArckConfig
+from repro.errors import NoEntry, SimulatedSegfault
+
+
+def demonstrate(config: ArckConfig) -> BugOutcome:
+    _device, _kernel, fs = make_fs(config)
+    fs.mkdir("/dir")
+    exc1, exc2 = race(
+        first=lambda: fs.creat("/dir/x"),
+        second=lambda: fs.unlink("/dir/x"),
+        parkpoint="creat.pre_core_append",
+    )
+    manifested = isinstance(exc2, SimulatedSegfault)
+    if manifested:
+        detail = f"unlink: {exc2}"
+    else:
+        # Patched: the unlink either waited for the create (then succeeded)
+        # or — if it won the lock race outright — saw no entry at all.
+        ok = exc1 is None and (exc2 is None or isinstance(exc2, NoEntry))
+        if not ok:
+            raise exc2 or exc1  # surface whatever unexpected thing happened
+        state = "file removed" if exc2 is None else "unlink saw no entry"
+        detail = f"aux and core updated atomically; {state}"
+    return BugOutcome(
+        bug="4.4",
+        title="Inconsistent core and auxiliary states",
+        config_name=config.name,
+        manifested=manifested,
+        detail=detail,
+    )

@@ -1,0 +1,131 @@
+"""Command-line entry point: regenerate the paper's tables directly.
+
+Usage::
+
+    python -m repro table1          # the six bugs, both configurations
+    python -m repro fig3            # single-thread metadata throughput
+    python -m repro table2          # ArckFS+/ArckFS @48 threads + geomean
+    python -m repro table4          # sharing cost
+    python -m repro fig4 [--threads 1,4,16,48]
+    python -m repro filebench
+    python -m repro all
+
+The pytest benches (``pytest benchmarks/ --benchmark-only``) run the same
+code with assertions against the paper's numbers; this CLI is the quick,
+assertion-free view.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+
+def cmd_table1(_args) -> None:
+    from repro.bugs import run_all
+    from repro.core.config import ARCKFS, ARCKFS_PLUS
+
+    for config in (ARCKFS, ARCKFS_PLUS):
+        print(f"==== {config.name} ====")
+        for outcome in run_all(config):
+            print(f"  {outcome}")
+        print()
+
+
+def cmd_fig3(_args) -> None:
+    from repro.perf.runner import run_workload
+    from repro.perf.stats import format_table
+    from repro.workloads.microbench import METADATA_OPS
+
+    systems = ["arckfs+", "arckfs", "ext4", "pmfs", "nova", "odinfs",
+               "winefs", "splitfs", "strata"]
+    ops = ["create", "open", "delete", "rename", "stat", "read-4k", "write-4k"]
+    table = {fs: {op: run_workload(fs, METADATA_OPS[op], 1).mops for op in ops}
+             for fs in systems}
+    print(format_table("Figure 3: single-thread metadata throughput",
+                       "fs", ops, table, unit="Mops/s"))
+
+
+def cmd_table2(_args) -> None:
+    from repro.perf.runner import run_workload
+    from repro.perf.stats import geomean
+    from repro.workloads.fxmark import FXMARK, METADATA_WORKLOADS
+
+    print(f"{'workload':<8}{'ArckFS':>10}{'ArckFS+':>10}{'ratio':>9}")
+    ratios: List[float] = []
+    for name in METADATA_WORKLOADS:
+        a = run_workload("arckfs", FXMARK[name], 48).mops
+        p = run_workload("arckfs+", FXMARK[name], 48).mops
+        ratios.append(p / a)
+        print(f"{name:<8}{a:>10.2f}{p:>10.2f}{p / a * 100:>8.2f}%")
+    print(f"{'geomean':<8}{'':>20}{geomean(ratios) * 100:>8.2f}%  "
+          f"(paper: 97.23%)")
+
+
+def cmd_fig4(args) -> None:
+    from repro.perf.runner import sweep
+    from repro.perf.stats import format_table
+    from repro.workloads.fxmark import FXMARK, METADATA_WORKLOADS
+
+    threads = [int(t) for t in args.threads.split(",")]
+    systems = ["arckfs+", "arckfs", "ext4", "pmfs", "nova", "odinfs",
+               "winefs", "splitfs", "strata"]
+    for name in METADATA_WORKLOADS:
+        result = sweep(systems, FXMARK[name], threads, horizon_ns=500_000.0)
+        print(format_table(f"{name}: {FXMARK[name].description}", "fs",
+                           threads, result, unit="Mops/s"))
+        print()
+
+
+def cmd_table4(_args) -> None:
+    from repro.workloads.sharing import table4
+
+    print(f"{'scenario':<16}{'system':<24}{'value':>10}")
+    for cell in table4():
+        print(f"{cell.scenario:<16}{cell.system:<24}{cell.value:>8.2f} {cell.unit}")
+
+
+def cmd_filebench(_args) -> None:
+    from repro.perf.runner import run_workload
+    from repro.workloads.filebench import FILEBENCH_SIMS
+
+    for name, workload in FILEBENCH_SIMS.items():
+        for threads in (1, 16):
+            a = run_workload("arckfs", workload, threads).mops
+            p = run_workload("arckfs+", workload, threads).mops
+            print(f"{name:<20} @{threads:>2} threads: "
+                  f"arckfs={a:7.3f} arckfs+={p:7.3f} Mops  "
+                  f"ratio={p / a * 100:6.2f}%")
+
+
+COMMANDS = {
+    "table1": cmd_table1,
+    "fig3": cmd_fig3,
+    "table2": cmd_table2,
+    "fig4": cmd_fig4,
+    "table4": cmd_table4,
+    "filebench": cmd_filebench,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate tables/figures of the ArckFS+ paper.",
+    )
+    parser.add_argument("what", choices=sorted(COMMANDS) + ["all"])
+    parser.add_argument("--threads", default="1,4,16,48",
+                        help="thread sweep for fig4 (comma separated)")
+    args = parser.parse_args(argv)
+    if args.what == "all":
+        for name in ("table1", "fig3", "table2", "fig4", "filebench", "table4"):
+            print(f"\n######## {name} ########")
+            COMMANDS[name](args)
+    else:
+        COMMANDS[args.what](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Lease with timeout.
+
+The §4.6 patch adds a kernel-side **global rename lock** for cross-directory
+renames of directories (the analogue of Linux VFS's ``s_vfs_rename_mutex``).
+Because a *malicious* LibFS could acquire it and never return, the lock is a
+lease: it expires after a timeout, after which the kernel may grant it to
+another application (and the stale holder's subsequent operations fail).
+
+Time is injectable so tests can expire leases deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+
+class LeaseExpired(Exception):
+    """An operation was attempted under a lease that has lapsed."""
+
+
+class Lease:
+    """A single-holder lease with expiry."""
+
+    def __init__(
+        self,
+        name: str = "lease",
+        duration: float = 1.0,
+        now_fn: Optional[Callable[[], float]] = None,
+    ):
+        self.name = name
+        self.duration = duration
+        self._now = now_fn or time.monotonic
+        self._lock = threading.Lock()
+        self._holder: Optional[str] = None
+        self._expires_at = 0.0
+        self.grants = 0
+        self.expirations = 0
+
+    def _expired_locked(self) -> bool:
+        return self._holder is not None and self._now() >= self._expires_at
+
+    def try_acquire(self, holder: str) -> bool:
+        """Grant the lease to ``holder`` if free (or the current one lapsed)."""
+        with self._lock:
+            if self._holder is not None and not self._expired_locked():
+                return self._holder == holder  # re-grant to current holder
+            if self._holder is not None:
+                self.expirations += 1
+            self._holder = holder
+            self._expires_at = self._now() + self.duration
+            self.grants += 1
+            return True
+
+    def acquire(self, holder: str, timeout: float = 5.0, poll: float = 0.001) -> bool:
+        """Blocking acquire with a wall-clock timeout (polling)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            if self.try_acquire(holder):
+                return True
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(poll)
+
+    def release(self, holder: str) -> None:
+        with self._lock:
+            if self._holder != holder:
+                # Released after expiry + re-grant: the stale holder learns
+                # its lease lapsed.
+                raise LeaseExpired(f"{self.name}: {holder} no longer holds the lease")
+            self._holder = None
+
+    def check(self, holder: str) -> None:
+        """Assert ``holder`` still holds a live lease (kernel-side check)."""
+        with self._lock:
+            if self._holder != holder or self._expired_locked():
+                raise LeaseExpired(f"{self.name}: {holder} does not hold a live lease")
+
+    def held_by(self) -> Optional[str]:
+        with self._lock:
+            if self._holder is None or self._expired_locked():
+                return None
+            return self._holder

@@ -1,0 +1,120 @@
+"""Readers-writer lock.
+
+ArckFS uses a readers-writer lock per regular file; the §4.3 patch makes the
+releasing thread take the *write* side so no reader or writer can still be
+inside the file when its mapping is torn down.
+
+Writer-preferring: once a writer is waiting, new readers queue behind it,
+so release (which takes the write lock in ArckFS+) cannot be starved.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Set
+
+
+class RWLock:
+    """Writer-preferring readers-writer lock."""
+
+    def __init__(self, name: str = "rwlock"):
+        self.name = name
+        self._cond = threading.Condition()
+        self._readers: Set[int] = set()
+        self._writer: Optional[int] = None
+        self._writers_waiting = 0
+        self.read_acquisitions = 0
+        self.write_acquisitions = 0
+
+    # ------------------------------------------------------------------ #
+    # Read side
+    # ------------------------------------------------------------------ #
+
+    def acquire_read(self, timeout: Optional[float] = None) -> bool:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                raise RuntimeError(f"{self.name}: read-acquire while holding write lock")
+            if me in self._readers:
+                raise RuntimeError(f"{self.name}: non-reentrant read lock re-acquired")
+            ok = self._cond.wait_for(
+                lambda: self._writer is None and self._writers_waiting == 0,
+                timeout=timeout,
+            )
+            if not ok:
+                return False
+            self._readers.add(me)
+            self.read_acquisitions += 1
+            return True
+
+    def release_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if me not in self._readers:
+                raise RuntimeError(f"{self.name}: read-release by non-reader")
+            self._readers.discard(me)
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # Write side
+    # ------------------------------------------------------------------ #
+
+    def acquire_write(self, timeout: Optional[float] = None) -> bool:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                raise RuntimeError(f"{self.name}: non-reentrant write lock re-acquired")
+            self._writers_waiting += 1
+            try:
+                ok = self._cond.wait_for(
+                    lambda: self._writer is None and not self._readers,
+                    timeout=timeout,
+                )
+                if not ok:
+                    return False
+                self._writer = me
+                self.write_acquisitions += 1
+                return True
+            finally:
+                self._writers_waiting -= 1
+
+    def release_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer != me:
+                raise RuntimeError(f"{self.name}: write-release by non-owner")
+            self._writer = None
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------ #
+
+    def write_held_by_me(self) -> bool:
+        return self._writer == threading.get_ident()
+
+    class _ReadGuard:
+        def __init__(self, lock: "RWLock"):
+            self._lock = lock
+
+        def __enter__(self):
+            self._lock.acquire_read()
+            return self._lock
+
+        def __exit__(self, *exc):
+            self._lock.release_read()
+
+    class _WriteGuard:
+        def __init__(self, lock: "RWLock"):
+            self._lock = lock
+
+        def __enter__(self):
+            self._lock.acquire_write()
+            return self._lock
+
+        def __exit__(self, *exc):
+            self._lock.release_write()
+
+    def read(self) -> "_ReadGuard":
+        return RWLock._ReadGuard(self)
+
+    def write(self) -> "_WriteGuard":
+        return RWLock._WriteGuard(self)

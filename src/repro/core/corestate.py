@@ -1,0 +1,452 @@
+"""Readers and writers for the ArckFS core state.
+
+All functions take a *memory* object (``mem``) that is either the raw
+:class:`~repro.pm.device.PMDevice` (kernel side: verifier, recovery) or a
+revocable :class:`~repro.pm.mapping.Mapping` (LibFS side), both exposing the
+same load/store/clwb/sfence interface.
+
+The one protocol worth spelling out is dentry creation (paper §4.2).  On
+hardware with 16-byte atomic stores, ArckFS commits a new dentry like this:
+
+1. write the child's inode record and the dentry record with the commit
+   marker (``name_len``) still 0, and ``clwb`` every affected cache line
+   *except* the one containing the marker (the artifact's optimisation:
+   that line will be flushed once, in step 2);
+2. store the real ``name_len`` with an atomic 2-byte store, ``clwb`` its
+   line, ``sfence``.
+
+The final fence completes all write-backs queued in step 1, so on the
+success path everything is durable.  The *bug* is the missing fence between
+the steps: before the final fence, the marker line can be evicted (and hence
+persisted) ahead of the body lines — a crash then leaves a dentry whose
+marker says "valid" but whose body, or whose inode record, is garbage.
+ArckFS+ adds one ``sfence`` at the end of step 1 (``fence_before_marker``).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import InvalidArgument, NameTooLong
+from repro.pm.allocator import PageAllocator
+from repro.pm.device import CACHE_LINE
+from repro.pm.layout import (
+    DENTRY_DELETED_OFF,
+    DENTRY_HEADER,
+    DENTRY_MARKER_OFF,
+    INDEX_SLOTS,
+    INODE_MAGIC,
+    INODE_SIZE_OFF,
+    ITYPE_DIR,
+    MAX_NAME,
+    NTAILS,
+    PAGE_KIND_DIRLOG,
+    PAGE_KIND_INDEX,
+    PAGE_PAYLOAD,
+    PAGE_SIZE,
+    PAGEHDR_SIZE,
+    Dentry,
+    Geometry,
+    InodeRecord,
+    PageHeader,
+    Superblock,
+)
+
+
+@dataclass(frozen=True)
+class DentryLoc:
+    """Where a dentry record lives: (tail index, page number, byte offset)."""
+
+    tail: int
+    page_no: int
+    offset: int
+
+
+@dataclass
+class TailCursor:
+    """DRAM-side cursor for one directory-log tail (last page + bytes used).
+
+    Part of the auxiliary state: rebuilt by scanning the tail chain, and kept
+    by the LibFS so appends are O(1).
+    """
+
+    head_page: int = 0
+    last_page: int = 0
+    used: int = 0
+
+
+class CoreState:
+    """Stateless helpers bound to a (memory, geometry) pair."""
+
+    def __init__(self, mem, geom: Geometry):
+        self.mem = mem
+        self.geom = geom
+
+    # ------------------------------------------------------------------ #
+    # Superblock / inode records
+    # ------------------------------------------------------------------ #
+
+    def superblock(self) -> Superblock:
+        return Superblock.unpack(self.mem.load(0, Superblock.SIZE))
+
+    def read_inode(self, ino: int) -> InodeRecord:
+        raw = self.mem.load(self.geom.inode_off(ino), InodeRecord.SIZE)
+        return InodeRecord.unpack(raw)
+
+    def write_inode(self, ino: int, rec: InodeRecord, *, persist: bool = True) -> None:
+        off = self.geom.inode_off(ino)
+        self.mem.store(off, rec.pack())
+        if persist:
+            self.mem.persist(off, InodeRecord.SIZE)
+
+    def write_inode_noflush(self, ino: int, rec: InodeRecord) -> None:
+        """Store + clwb but no fence (step 1 of the creation protocol)."""
+        off = self.geom.inode_off(ino)
+        self.mem.store(off, rec.pack())
+        self.mem.clwb(off, InodeRecord.SIZE)
+
+    def set_file_size(self, ino: int, size: int) -> None:
+        """Atomically commit a file's size (the data-write commit point)."""
+        addr = self.geom.inode_off(ino) + INODE_SIZE_OFF
+        self.mem.atomic_store(addr, struct.pack("<Q", size))
+        self.mem.persist(addr, 8)
+
+    def free_inode(self, ino: int) -> None:
+        """Mark an inode record free (after its dentry was tombstoned)."""
+        rec = self.read_inode(ino)
+        rec.magic = 0
+        rec.itype = 0
+        self.write_inode(ino, rec)
+
+    # ------------------------------------------------------------------ #
+    # Page helpers
+    # ------------------------------------------------------------------ #
+
+    def read_page_header(self, page_no: int) -> PageHeader:
+        return PageHeader.unpack(self.mem.load(self.geom.page_off(page_no), PAGEHDR_SIZE))
+
+    def init_page(self, page_no: int, kind: int) -> None:
+        off = self.geom.page_off(page_no)
+        self.mem.store(off, PageHeader(0, 0, kind).pack())
+        self.mem.persist(off, PAGEHDR_SIZE)
+
+    def link_page(self, prev_page: int, new_page: int) -> None:
+        """Persistently set prev.next = new (chain extension)."""
+        off = self.geom.page_off(prev_page)  # next_page is the first field
+        self.mem.atomic_store(off, struct.pack("<Q", new_page))
+        self.mem.persist(off, 8)
+
+    # ------------------------------------------------------------------ #
+    # Directory logs (multi-tailed)
+    # ------------------------------------------------------------------ #
+
+    def scan_tail(self, head_page: int) -> Tuple[TailCursor, List[Tuple[DentryLoc, Dentry]]]:
+        """Walk one tail chain; return its cursor and every parseable record.
+
+        Scanning stops within a page at the first record whose header is
+        unparseable (zero or bogus ``rec_len``) — that is the uncommitted
+        tail left by a crash.  Records with a zero marker or a set tombstone
+        are still yielded (the verifier wants to see them); callers filter
+        with :attr:`Dentry.live`.
+        """
+        records: List[Tuple[DentryLoc, Dentry]] = []
+        cursor = TailCursor(head_page=head_page)
+        page_no = head_page
+        visited = set()
+        while page_no:
+            if page_no in visited or not 1 <= page_no <= self.geom.page_count:
+                raise ValueError(f"directory log chain corrupt at page {page_no}")
+            visited.add(page_no)
+            base = self.geom.page_off(page_no)
+            hdr = PageHeader.unpack(self.mem.load(base, PAGEHDR_SIZE))
+            off = PAGEHDR_SIZE
+            while off + DENTRY_HEADER <= PAGE_SIZE:
+                raw = self.mem.load(base + off, min(DENTRY_HEADER + MAX_NAME, PAGE_SIZE - off))
+                d = Dentry.unpack(raw)
+                if d.rec_len == 0:
+                    break
+                if d.rec_len % 8 != 0 or off + d.rec_len > PAGE_SIZE:
+                    break  # torn header: treat as end of log
+                records.append((DentryLoc(-1, page_no, off), d))
+                off += d.rec_len
+            cursor.last_page = page_no
+            cursor.used = off - PAGEHDR_SIZE
+            page_no = hdr.next_page
+        if not head_page:
+            cursor.last_page = 0
+            cursor.used = 0
+        return cursor, records
+
+    def iter_dir_records(self, rec: InodeRecord) -> Iterator[Tuple[DentryLoc, Dentry]]:
+        """Every parseable dentry record of a directory, across all tails."""
+        for tail_idx, head in enumerate(rec.tails):
+            if not head:
+                continue
+            _cursor, records = self.scan_tail(head)
+            for loc, d in records:
+                yield DentryLoc(tail_idx, loc.page_no, loc.offset), d
+
+    def live_dentries(self, rec: InodeRecord) -> Dict[bytes, Dentry]:
+        """The directory's current contents: committed, not tombstoned,
+        duplicate (ino, gen) resolved in favour of the highest ``seq``
+        (a crashed rename can leave both the old and the new dentry)."""
+        best: Dict[bytes, Dentry] = {}
+        by_child: Dict[Tuple[int, int], Dentry] = {}
+        for _loc, d in self.iter_dir_records(rec):
+            if not d.live:
+                continue
+            key = (d.ino, d.gen)
+            prev = by_child.get(key)
+            if prev is not None and d.seq <= prev.seq:
+                continue  # stale duplicate from a crashed rename
+            if prev is not None and best.get(prev.name) is prev:
+                del best[prev.name]
+            by_child[key] = d
+            holder = best.get(d.name)
+            if holder is None or d.seq >= holder.seq:
+                # Same-name conflict (crashed overwriting rename): the
+                # higher-seq record wins, deterministically.
+                best[d.name] = d
+        return best
+
+    def live_dentries_with_loc(
+        self, rec: InodeRecord
+    ) -> Dict[bytes, Tuple[Dentry, DentryLoc]]:
+        """Like :meth:`live_dentries` but keeping each record's location
+        (the LibFS auxiliary index needs it for in-place tombstoning)."""
+        best: Dict[bytes, Tuple[Dentry, DentryLoc]] = {}
+        by_child: Dict[Tuple[int, int], Dentry] = {}
+        for loc, d in self.iter_dir_records(rec):
+            if not d.live:
+                continue
+            key = (d.ino, d.gen)
+            prev = by_child.get(key)
+            if prev is not None and d.seq <= prev.seq:
+                continue
+            if prev is not None and prev.name in best and best[prev.name][0] is prev:
+                del best[prev.name]
+            by_child[key] = d
+            holder = best.get(d.name)
+            if holder is None or d.seq >= holder[0].seq:
+                best[d.name] = (d, loc)
+        return best
+
+    def dir_pages(self, rec: InodeRecord) -> List[int]:
+        """All log pages owned by a directory inode."""
+        pages = []
+        seen = set()
+        for head in rec.tails:
+            page_no = head
+            while page_no:
+                if page_no in seen or not 1 <= page_no <= self.geom.page_count:
+                    raise ValueError(f"directory log chain corrupt at page {page_no}")
+                seen.add(page_no)
+                pages.append(page_no)
+                page_no = self.read_page_header(page_no).next_page
+        return pages
+
+    # -- appends --------------------------------------------------------- #
+
+    def _clwb_skipping_marker(self, rec_addr: int, rec_len: int, marker_addr: int) -> None:
+        """clwb every line of the record except the marker's line."""
+        marker_line = marker_addr // CACHE_LINE
+        first = rec_addr // CACHE_LINE
+        last = (rec_addr + rec_len - 1) // CACHE_LINE
+        for lineno in range(first, last + 1):
+            if lineno == marker_line:
+                continue
+            self.mem.clwb(lineno * CACHE_LINE, 1)
+
+    def append_dentry(
+        self,
+        dir_ino: int,
+        dir_rec: InodeRecord,
+        tail_idx: int,
+        cursor: TailCursor,
+        name: bytes,
+        child_ino: int,
+        child_gen: int,
+        itype: int,
+        seq: int,
+        alloc: PageAllocator,
+        *,
+        fence_before_marker: bool,
+        failpoints=None,
+    ) -> DentryLoc:
+        """Append and commit one dentry using the commit-marker protocol.
+
+        ``fence_before_marker`` is the §4.2 patch: True under ArckFS+,
+        False under the buggy ArckFS.  ``cursor`` is updated in place and
+        ``dir_rec.tails`` may gain a head page (the caller persists the
+        inode record change via us).
+
+        The caller must hold the tail lock for ``tail_idx`` (and, under the
+        ArckFS+ §4.4 patch, the relevant bucket lock).
+        """
+        if not name or len(name) > MAX_NAME:
+            raise NameTooLong(f"name of {len(name)} bytes")
+        rec_len = Dentry.record_len(name)
+
+        if cursor.head_page == 0:
+            head = alloc.alloc()
+            self.init_page(head, PAGE_KIND_DIRLOG)
+            dir_rec.tails[tail_idx] = head
+            # Persist the new tail head pointer in the inode record.
+            self.write_inode(dir_ino, dir_rec)
+            cursor.head_page = head
+            cursor.last_page = head
+            cursor.used = 0
+        if cursor.used + rec_len > PAGE_PAYLOAD:
+            new_page = alloc.alloc()
+            self.init_page(new_page, PAGE_KIND_DIRLOG)
+            self.link_page(cursor.last_page, new_page)
+            cursor.last_page = new_page
+            cursor.used = 0
+
+        offset = PAGEHDR_SIZE + cursor.used
+        rec_addr = self.geom.page_off(cursor.last_page) + offset
+        marker_addr = rec_addr + DENTRY_MARKER_OFF
+
+        # Step 1: full record with marker = 0; flush all lines but the
+        # marker's (each cache line is persisted only once — the artifact's
+        # optimisation the §4.2 bug hides in).
+        d = Dentry(
+            ino=child_ino,
+            gen=child_gen,
+            seq=seq,
+            rec_len=rec_len,
+            name_len=0,
+            itype=itype,
+            deleted=0,
+            name=name,
+        )
+        self.mem.store(rec_addr, d.pack())
+        self._clwb_skipping_marker(rec_addr, rec_len, marker_addr)
+
+        if fence_before_marker:
+            self.mem.sfence()  # the ArckFS+ one-line patch (§4.2)
+
+        # Step 2: atomically set the commit marker, flush its line, fence.
+        self.mem.atomic_store(marker_addr, struct.pack("<H", len(name)))
+        self.mem.clwb(marker_addr, 2)
+        if failpoints is not None:
+            # §4.2 reproduction point: marker flushed, final fence not yet
+            # issued — the window in which the marker line may persist ahead
+            # of the body/inode lines.
+            failpoints.hit("create.post_marker")
+        self.mem.sfence()
+
+        cursor.used += rec_len
+        return DentryLoc(tail_idx, cursor.last_page, offset)
+
+    def tombstone(self, loc: DentryLoc) -> None:
+        """Mark a dentry deleted, in place, synchronously persisted."""
+        addr = self.geom.page_off(loc.page_no) + loc.offset + DENTRY_DELETED_OFF
+        self.mem.atomic_store(addr, b"\x01")
+        self.mem.persist(addr, 1)
+
+    def read_dentry(self, loc: DentryLoc) -> Dentry:
+        base = self.geom.page_off(loc.page_no) + loc.offset
+        raw = self.mem.load(base, min(DENTRY_HEADER + MAX_NAME, PAGE_SIZE))
+        return Dentry.unpack(raw)
+
+    # ------------------------------------------------------------------ #
+    # File page indexes and data
+    # ------------------------------------------------------------------ #
+
+    def file_pages(self, rec: InodeRecord) -> List[int]:
+        """All data page numbers of a regular file, in order."""
+        pages: List[int] = []
+        idx_page = rec.index_root
+        visited = set()
+        while idx_page:
+            if idx_page in visited or not 1 <= idx_page <= self.geom.page_count:
+                raise ValueError(f"file index chain corrupt at page {idx_page}")
+            visited.add(idx_page)
+            base = self.geom.page_off(idx_page)
+            hdr = PageHeader.unpack(self.mem.load(base, PAGEHDR_SIZE))
+            raw = self.mem.load(base + PAGEHDR_SIZE, INDEX_SLOTS * 8)
+            for slot in range(INDEX_SLOTS):
+                (page_no,) = struct.unpack_from("<Q", raw, slot * 8)
+                if page_no == 0:
+                    return pages
+                pages.append(page_no)
+            idx_page = hdr.next_page
+        return pages
+
+    def index_pages(self, rec: InodeRecord) -> List[int]:
+        pages = []
+        idx_page = rec.index_root
+        while idx_page:
+            if idx_page in pages or not 1 <= idx_page <= self.geom.page_count:
+                raise ValueError(f"file index chain corrupt at page {idx_page}")
+            pages.append(idx_page)
+            idx_page = self.read_page_header(idx_page).next_page
+        return pages
+
+    def append_file_pages(
+        self,
+        ino: int,
+        rec: InodeRecord,
+        existing_count: int,
+        new_pages: List[int],
+        alloc: PageAllocator,
+    ) -> None:
+        """Link freshly written data pages into the file's index, durably.
+
+        Index slots are filled in order; the file's committed length is
+        still governed by the inode ``size`` field, so a crash mid-append
+        leaves only unreachable-but-harmless slots past the old size.
+        """
+        if not new_pages:
+            return
+        # Locate the index page/slot for entry number ``existing_count``.
+        chain = self.index_pages(rec)
+        needed_pages = (existing_count + len(new_pages) + INDEX_SLOTS - 1) // INDEX_SLOTS
+        while len(chain) < needed_pages:
+            new_idx = alloc.alloc()
+            self.init_page(new_idx, PAGE_KIND_INDEX)
+            if chain:
+                self.link_page(chain[-1], new_idx)
+            else:
+                rec.index_root = new_idx
+                self.write_inode(ino, rec)
+            chain.append(new_idx)
+        pos = existing_count
+        touched = set()
+        for page_no in new_pages:
+            idx_page = chain[pos // INDEX_SLOTS]
+            slot = pos % INDEX_SLOTS
+            addr = self.geom.page_off(idx_page) + PAGEHDR_SIZE + slot * 8
+            self.mem.atomic_store(addr, struct.pack("<Q", page_no))
+            self.mem.clwb(addr, 8)
+            touched.add(idx_page)
+            pos += 1
+        self.mem.sfence()
+
+    def read_file_data(self, pages: List[int], size: int, off: int, n: int) -> bytes:
+        if off >= size:
+            return b""
+        n = min(n, size - off)
+        out = bytearray()
+        while n > 0:
+            page_idx = off // PAGE_SIZE
+            in_page = off % PAGE_SIZE
+            chunk = min(n, PAGE_SIZE - in_page)
+            if page_idx >= len(pages):
+                out += b"\0" * chunk  # hole
+            else:
+                addr = self.geom.page_off(pages[page_idx]) + in_page
+                out += self.mem.load(addr, chunk)
+            off += chunk
+            n -= chunk
+        return bytes(out)
+
+    def write_page_data(self, page_no: int, in_page_off: int, data: bytes) -> None:
+        """Store data into one page and queue its write-back (no fence)."""
+        if in_page_off + len(data) > PAGE_SIZE:
+            raise InvalidArgument("write crosses page boundary")
+        addr = self.geom.page_off(page_no) + in_page_off
+        self.mem.ntstore(addr, data)

@@ -1,0 +1,77 @@
+"""Format a PM device with an empty ArckFS core state."""
+
+from __future__ import annotations
+
+from repro.pm.allocator import PageAllocator
+from repro.pm.device import PMDevice
+from repro.pm.layout import (
+    INODE_MAGIC,
+    ITYPE_DIR,
+    NTAILS,
+    SB_MAGIC,
+    Geometry,
+    InodeRecord,
+    Superblock,
+)
+
+#: Inode number of the root directory.
+ROOT_INO = 0
+
+#: Default mode bits for the root directory (rwxrwxrwx, scratch-mount style).
+ROOT_MODE = 0o777
+
+
+def mkfs(device: PMDevice, inode_count: int = 1024, root_uid: int = 0) -> Geometry:
+    """Write a fresh file system: superblock, empty inode table, root dir.
+
+    Returns the geometry.  Everything is durably persisted before return, so
+    a crash immediately after mkfs recovers to an empty file system.
+    """
+    geom = Geometry.compute(device.size, inode_count)
+    if geom.page_count < 4:
+        raise ValueError("device too small for this inode count")
+
+    sb = Superblock(
+        magic=SB_MAGIC,
+        device_size=device.size,
+        block_size=4096,
+        inode_count=inode_count,
+        itable_off=geom.itable_off,
+        bitmap_off=geom.bitmap_off,
+        data_off=geom.data_off,
+        root_ino=ROOT_INO,
+    )
+
+    # Zero the inode table and the bitmap region.
+    device.store(geom.itable_off, b"\0" * (inode_count * InodeRecord.SIZE))
+    bitmap_bytes = (geom.page_count + 7) // 8
+    device.store(geom.bitmap_off, b"\0" * bitmap_bytes)
+
+    # Root directory inode: an empty dir with no log tails yet.
+    root = InodeRecord(
+        magic=INODE_MAGIC,
+        itype=ITYPE_DIR,
+        mode=ROOT_MODE,
+        uid=root_uid,
+        gen=1,
+        size=0,
+        nlink=2,
+        seq=0,
+        index_root=0,
+        tails=[0] * NTAILS,
+    )
+    device.store(geom.inode_off(ROOT_INO), root.pack())
+
+    # Superblock last: its magic is the mount-time validity check.
+    device.store(0, sb.pack())
+    device.drain()
+    return geom
+
+
+def load_geometry(device: PMDevice) -> Geometry:
+    """Read the superblock and derive the geometry; raises if unformatted."""
+    sb = Superblock.unpack(device.load(0, Superblock.SIZE))
+    if not sb.valid:
+        raise ValueError("device has no valid superblock (run mkfs)")
+    geom = Geometry.compute(sb.device_size, sb.inode_count)
+    return geom

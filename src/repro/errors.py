@@ -1,0 +1,116 @@
+"""Exception hierarchy shared across the repro package.
+
+Two families live here:
+
+* Simulated hardware/OS faults (:class:`SimulatedSegfault`,
+  :class:`SimulatedBusError`).  The paper observes real segfaults and bus
+  errors caused by ArckFS's concurrency bugs; since Python cannot (usefully)
+  segfault, freed or unmapped memory in our simulation is *poisoned* and any
+  dereference raises one of these exceptions instead.  Tests assert that the
+  buggy configuration raises them and the patched configuration does not.
+
+* File-system errors (:class:`FSError` and its subclasses), which mirror the
+  POSIX errno values a real file system would return.
+"""
+
+from __future__ import annotations
+
+import errno
+
+
+class SimulatedFault(Exception):
+    """Base class for simulated hardware faults (would kill a real process)."""
+
+
+class SimulatedSegfault(SimulatedFault):
+    """Dereference of freed / poisoned memory (SIGSEGV in the paper)."""
+
+
+class SimulatedBusError(SimulatedFault):
+    """Dereference of an unmapped PM region (SIGBUS in the paper, cf. §4.3)."""
+
+
+class PersistOrderError(Exception):
+    """Misuse of the persistence primitives (e.g. flushing an unwritten line)."""
+
+
+class CrashPoint(Exception):
+    """Raised by a failpoint to simulate a whole-machine crash at this site."""
+
+
+class CorruptionDetected(Exception):
+    """The integrity verifier rejected an inode's core state.
+
+    Carries enough context for the kernel controller to apply a resolution
+    policy (rollback or mark-inaccessible).
+    """
+
+    def __init__(self, ino: int, reason: str):
+        super().__init__(f"inode {ino}: {reason}")
+        self.ino = ino
+        self.reason = reason
+
+
+class FSError(OSError):
+    """Base file-system error; ``errno`` mirrors the POSIX value."""
+
+    ERRNO = errno.EIO
+
+    def __init__(self, msg: str = ""):
+        super().__init__(self.ERRNO, msg or self.__class__.__name__)
+
+
+class NoEntry(FSError):
+    ERRNO = errno.ENOENT
+
+
+class Exists(FSError):
+    ERRNO = errno.EEXIST
+
+
+class NotADir(FSError):
+    ERRNO = errno.ENOTDIR
+
+
+class IsADir(FSError):
+    ERRNO = errno.EISDIR
+
+
+class NotEmpty(FSError):
+    ERRNO = errno.ENOTEMPTY
+
+
+class PermissionDenied(FSError):
+    ERRNO = errno.EACCES
+
+
+class NoSpace(FSError):
+    ERRNO = errno.ENOSPC
+
+
+class InvalidArgument(FSError):
+    ERRNO = errno.EINVAL
+
+
+class BadFileDescriptor(FSError):
+    ERRNO = errno.EBADF
+
+
+class NameTooLong(FSError):
+    ERRNO = errno.ENAMETOOLONG
+
+
+class CrossDevice(FSError):
+    ERRNO = errno.EXDEV
+
+
+class WouldLoop(FSError):
+    """Renaming a directory into one of its own descendants (cf. §4.6)."""
+
+    ERRNO = errno.ELOOP
+
+
+class TryAgain(FSError):
+    """Transient failure (e.g. the global rename lease is held elsewhere)."""
+
+    ERRNO = errno.EAGAIN

@@ -1,0 +1,630 @@
+"""The Trio in-kernel access controller.
+
+One :class:`KernelController` instance is "the kernel" for one device: it
+owns the shadow inode table, grants/revokes inode ownership to registered
+applications (LibFS instances), runs the verifier on every ownership
+transfer, applies resolution policies on corruption, hands out inode
+numbers, arbitrates the global rename lease (§4.6 patch), and implements
+trust groups (§5.4).
+
+Recovery after a crash (``KernelController.mount``) rebuilds everything from
+the durable core state alone: a breadth-first walk from the root directory
+reconstructs the shadow table, resolves duplicate dentries left by crashed
+renames, detects partially-persisted creations (the §4.2 observable), and
+reclaims leaked pages and inode slots.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.concurrency.lease import Lease
+from repro.core.config import ARCKFS_PLUS, ArckConfig
+from repro.core.corestate import CoreState
+from repro.core.mkfs import ROOT_INO, load_geometry, mkfs
+from repro.errors import (
+    CorruptionDetected,
+    InvalidArgument,
+    NoEntry,
+    NoSpace,
+    PermissionDenied,
+    TryAgain,
+)
+from repro.kernel.permissions import READ, WRITE, check_access
+from repro.kernel.policy import ResolutionPolicy, RollbackPolicy
+from repro.kernel.shadow import Acquisition, PendingInode, ShadowInode, Snapshot
+from repro.kernel.verifier import Verifier, VerifyFailure
+from repro.pm.allocator import PageAllocator
+from repro.pm.device import PMDevice
+from repro.pm.layout import ITYPE_DIR, InodeRecord
+from repro.pm.mapping import Mapping
+
+
+@dataclass
+class AppInfo:
+    app_id: str
+    uid: int
+    group: Optional[str] = None
+
+
+@dataclass
+class KernelStats:
+    acquires: int = 0
+    releases: int = 0
+    commits: int = 0
+    revokes: int = 0
+    verifications: int = 0
+    bytes_verified: int = 0
+    snapshots: int = 0
+    snapshot_bytes: int = 0
+    rollbacks: int = 0
+    rollback_bytes: int = 0
+    marked_inaccessible: int = 0
+    group_skips: int = 0
+
+
+@dataclass
+class RecoveryReport:
+    """What ``mount`` found while rebuilding from a (possibly crashed) image."""
+
+    inodes: int = 0
+    #: (dir_ino, name) of committed dentries whose target inode record was
+    #: invalid or stale — the §4.2 "partially persisted dentry and inode".
+    torn_dentries: List[Tuple[int, bytes]] = field(default_factory=list)
+    #: stale duplicate dentries dropped (crashed renames).
+    duplicates_dropped: int = 0
+    #: allocated-but-unreachable pages reclaimed.
+    pages_reclaimed: int = 0
+    #: inode slots whose records were live but unreachable from the root.
+    orphan_inodes: List[int] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.torn_dentries and not self.orphan_inodes
+
+
+@dataclass
+class AuditIssue:
+    kind: str  # "cycle" | "orphan" | "dangling-child"
+    detail: str
+
+
+class KernelController:
+    """Trusted kernel side of the Trio architecture for one PM device."""
+
+    def __init__(
+        self,
+        device: PMDevice,
+        config: ArckConfig = ARCKFS_PLUS,
+        policy: Optional[ResolutionPolicy] = None,
+    ):
+        self.device = device
+        self.config = config
+        self.policy = policy or RollbackPolicy()
+        self.geom = load_geometry(device)
+        self.core = CoreState(device, self.geom)
+        self.alloc = PageAllocator(device, self.geom)
+        self.verifier = Verifier(self)
+        self.rename_lease = Lease("global-rename", duration=1.0)
+        self.stats = KernelStats()
+        self._lock = threading.RLock()
+
+        self.apps: Dict[str, AppInfo] = {}
+        self.shadow: Dict[int, ShadowInode] = {}
+        self.pending: Dict[int, PendingInode] = {}
+        self.acquisitions: Dict[int, Acquisition] = {}
+        self.page_owner: Dict[int, int] = {}
+        self.slot_gen: List[int] = [0] * self.geom.inode_count
+        self.free_inodes: Set[int] = set()
+        #: rollback target for inodes dirtied inside a trust group.
+        self._group_snapshots: Dict[int, Snapshot] = {}
+        #: which app last owned each inode (auxiliary-state staleness hint).
+        self._last_owner: Dict[int, str] = {}
+        self.last_recovery: Optional[RecoveryReport] = None
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def fresh(
+        cls,
+        device: PMDevice,
+        inode_count: int = 1024,
+        config: ArckConfig = ARCKFS_PLUS,
+        policy: Optional[ResolutionPolicy] = None,
+    ) -> "KernelController":
+        """mkfs + mount on an empty device."""
+        mkfs(device, inode_count)
+        return cls.mount(device, config=config, policy=policy)
+
+    @classmethod
+    def mount(
+        cls,
+        device: PMDevice,
+        config: ArckConfig = ARCKFS_PLUS,
+        policy: Optional[ResolutionPolicy] = None,
+    ) -> "KernelController":
+        """Mount an existing (possibly crash-recovered) device."""
+        kc = cls(device, config=config, policy=policy)
+        kc.last_recovery = kc._recover()
+        return kc
+
+    def _recover(self) -> RecoveryReport:
+        """Rebuild shadow table, page ownership, allocator and slot gens."""
+        report = RecoveryReport()
+        core = self.core
+        root_rec = core.read_inode(ROOT_INO)
+        if not root_rec.valid or not root_rec.is_dir:
+            raise InvalidArgument("root inode record invalid")
+
+        # Pass 1: walk from the root collecting candidate (parent, dentry)
+        # pairs per child; resolve cross-directory duplicates by seq.
+        best: Dict[int, Tuple[int, object]] = {}  # child -> (parent, dentry)
+        dirs_seen: Set[int] = set()
+        frontier = [ROOT_INO]
+        while frontier:
+            dir_ino = frontier.pop()
+            if dir_ino in dirs_seen:
+                continue
+            dirs_seen.add(dir_ino)
+            dir_rec = core.read_inode(dir_ino)
+            if not dir_rec.valid or not dir_rec.is_dir:
+                continue
+            try:
+                entries = core.live_dentries(dir_rec)
+            except ValueError:
+                report.torn_dentries.append((dir_ino, b"<corrupt log>"))
+                continue
+            for name, d in entries.items():
+                child_rec = core.read_inode(d.ino)
+                if (
+                    not child_rec.valid
+                    or child_rec.gen != d.gen
+                    or child_rec.itype != d.itype
+                ):
+                    report.torn_dentries.append((dir_ino, name))
+                    continue
+                prev = best.get(d.ino)
+                if prev is not None:
+                    prev_d = prev[1]
+                    if d.seq > prev_d.seq:
+                        best[d.ino] = (dir_ino, d)
+                    report.duplicates_dropped += 1
+                else:
+                    best[d.ino] = (dir_ino, d)
+                if d.itype == ITYPE_DIR:
+                    frontier.append(d.ino)
+
+        # Pass 2: build shadow entries for the root and every resolved child.
+        self.shadow = {
+            ROOT_INO: ShadowInode(
+                ino=ROOT_INO,
+                gen=root_rec.gen,
+                itype=root_rec.itype,
+                mode=root_rec.mode,
+                uid=root_rec.uid,
+                parent=None,
+                name=b"/",
+            )
+        }
+        for child_ino, (parent_ino, d) in best.items():
+            child_rec = core.read_inode(child_ino)
+            self.shadow[child_ino] = ShadowInode(
+                ino=child_ino,
+                gen=child_rec.gen,
+                itype=child_rec.itype,
+                mode=child_rec.mode,
+                uid=child_rec.uid,
+                parent=parent_ino,
+                name=d.name,
+                size=child_rec.size,
+            )
+        # Children maps include only children whose resolved parent is us.
+        for child_ino, (parent_ino, d) in best.items():
+            parent_sh = self.shadow.get(parent_ino)
+            if parent_sh is not None:
+                parent_sh.children[d.name] = child_ino
+
+        # Pass 3: page ownership + reachable page set.
+        reachable: Set[int] = set()
+        for ino, sh in self.shadow.items():
+            rec = core.read_inode(ino)
+            try:
+                pages = (
+                    core.dir_pages(rec)
+                    if rec.is_dir
+                    else core.index_pages(rec) + core.file_pages(rec)
+                )
+            except ValueError:
+                report.torn_dentries.append((ino, b"<corrupt page chain>"))
+                continue
+            for page_no in pages:
+                self.page_owner[page_no] = ino
+                reachable.add(page_no)
+        report.pages_reclaimed = self.alloc.rebuild(reachable)
+
+        # Pass 4: slot generations and the free-inode pool.
+        for ino in range(self.geom.inode_count):
+            rec = core.read_inode(ino)
+            self.slot_gen[ino] = rec.gen
+            if ino not in self.shadow:
+                if rec.valid:
+                    report.orphan_inodes.append(ino)
+                    # Wipe it so the slot is reusable.
+                    core.free_inode(ino)
+                self.free_inodes.add(ino)
+        report.inodes = len(self.shadow)
+        return report
+
+    # ------------------------------------------------------------------ #
+    # Applications and trust groups (§5.4)
+    # ------------------------------------------------------------------ #
+
+    def register_app(self, app_id: str, uid: int, group: Optional[str] = None) -> None:
+        with self._lock:
+            if app_id in self.apps:
+                raise InvalidArgument(f"app {app_id!r} already registered")
+            self.apps[app_id] = AppInfo(app_id, uid, group)
+
+    def app_shutdown(self, app_id: str) -> None:
+        """Release everything an application still owns (process exit)."""
+        with self._lock:
+            owned = [ino for ino, acq in self.acquisitions.items() if acq.app_id == app_id]
+            for ino in owned:
+                try:
+                    self.release(app_id, ino)
+                except CorruptionDetected:
+                    pass
+            for ino in [i for i, p in self.pending.items() if p.owner == app_id]:
+                del self.pending[ino]
+                self.free_inodes.add(ino)
+
+    # ------------------------------------------------------------------ #
+    # Inode number allocation
+    # ------------------------------------------------------------------ #
+
+    def alloc_inode(self, app_id: str) -> Tuple[int, int]:
+        """Hand a free inode slot (and its next generation) to an app."""
+        with self._lock:
+            self._require_app(app_id)
+            if not self.free_inodes:
+                raise NoSpace("no free inode slots")
+            ino = min(self.free_inodes)
+            self.free_inodes.discard(ino)
+            gen = self.slot_gen[ino] + 1
+            self.slot_gen[ino] = gen
+            self.pending[ino] = PendingInode(ino=ino, gen=gen, owner=app_id)
+            return ino, gen
+
+    def abort_inode(self, app_id: str, ino: int) -> None:
+        """Return a pending (never linked) inode slot, unmapping if needed."""
+        with self._lock:
+            pend = self.pending.get(ino)
+            if pend is None or pend.owner != app_id:
+                raise InvalidArgument(f"inode {ino} not pending for {app_id}")
+            acq = self.acquisitions.pop(ino, None)
+            if acq is not None:
+                acq.mapping.unmap()
+            del self.pending[ino]
+            self.free_inodes.add(ino)
+
+    # ------------------------------------------------------------------ #
+    # Ownership transfer: acquire / commit / release / revoke
+    # ------------------------------------------------------------------ #
+
+    def acquire(self, app_id: str, ino: int, write: bool = True) -> Mapping:
+        """Grant ``app_id`` ownership of ``ino`` and map its core state."""
+        with self._lock:
+            app = self._require_app(app_id)
+            sh = self.shadow.get(ino)
+            pend = self.pending.get(ino)
+            if sh is None and pend is None:
+                raise NoEntry(f"inode {ino}")
+            acq = self.acquisitions.get(ino)
+            if acq is not None:
+                if acq.app_id == app_id:
+                    if write and not acq.writable:
+                        # Read-to-write upgrade: re-run the permission check.
+                        if sh is not None:
+                            check_access(sh.mode, sh.uid, app.uid, WRITE, f"inode {ino}")
+                        acq.writable = True
+                    return acq.mapping  # idempotent re-acquire
+                raise TryAgain(f"inode {ino} owned by {acq.app_id}")
+            if sh is not None:
+                if sh.inaccessible:
+                    raise PermissionDenied(f"inode {ino} marked inaccessible")
+                check_access(
+                    sh.mode, sh.uid, app.uid, WRITE if write else READ, f"inode {ino}"
+                )
+                # Trust-group exit: verify deferred modifications now.
+                if sh.trusted_dirty_group is not None and sh.trusted_dirty_group != app.group:
+                    self._group_exit_verify(ino)
+            else:
+                if pend.owner != app_id:
+                    raise PermissionDenied(f"inode {ino} pending for {pend.owner}")
+
+            snapshot = None
+            if sh is not None:
+                if app.group is not None and sh.trusted_dirty_group == app.group:
+                    snapshot = self._group_snapshots.get(ino)
+                else:
+                    snapshot = self._snapshot(ino)
+            mapping = Mapping(self.device, ino, tag=app_id)
+            self.acquisitions[ino] = Acquisition(
+                ino=ino, app_id=app_id, mapping=mapping, snapshot=snapshot, writable=write
+            )
+            self._last_owner[ino] = app_id
+            self.stats.acquires += 1
+            return mapping
+
+    def acquire_ex(self, app_id: str, ino: int, write: bool = True):
+        """Like :meth:`acquire`, also reporting auxiliary-state staleness.
+
+        Returns ``(mapping, stale)``: ``stale`` is True when another
+        application owned the inode since this one last built its auxiliary
+        state, i.e. the LibFS must rebuild its DRAM index from the core
+        state instead of reusing the retained one (§4.3 keeps aux state
+        around after release precisely so the common own-release/re-acquire
+        path is cheap and safe).
+        """
+        with self._lock:
+            stale = self._last_owner.get(ino) != app_id
+            mapping = self.acquire(app_id, ino, write=write)
+            return mapping, stale
+
+    def commit(self, app_id: str, ino: int) -> None:
+        """Verify in place; ownership and mapping are retained ([21, §4.3]).
+
+        On failure the resolution policy runs and CorruptionDetected is
+        raised; the mapping stays valid but the LibFS must rebuild its
+        auxiliary state from the (possibly rolled back) core state.
+        """
+        with self._lock:
+            acq = self._require_acquisition(app_id, ino)
+            self._verify_and_apply(acq, app_id)
+            acq.snapshot = self._snapshot(ino)
+            self.stats.commits += 1
+
+    def release(self, app_id: str, ino: int) -> None:
+        """Voluntary release: verify, update shadow, unmap."""
+        with self._lock:
+            acq = self._require_acquisition(app_id, ino)
+            app = self.apps[app_id]
+            sh = self.shadow.get(ino)
+            if app.group is not None and sh is not None and not sh.inaccessible:
+                # Intra-group transfers skip verification (§5.4); remember
+                # the rollback point from before the group started dirtying.
+                # Structural reconciliation still runs in *trusting* mode —
+                # the kernel must register created inodes to hand them to
+                # other group members — but no integrity check is applied.
+                if sh.trusted_dirty_group is None and acq.snapshot is not None:
+                    self._group_snapshots[ino] = acq.snapshot
+                try:
+                    staged = self.verifier.verify(ino, app_id, trusted=True)
+                    self._apply(staged)
+                except VerifyFailure:
+                    pass  # unparseable now; the group-exit verification pays
+                sh.trusted_dirty_group = app.group
+                acq.mapping.unmap()
+                del self.acquisitions[ino]
+                self.stats.group_skips += 1
+                self.stats.releases += 1
+                return
+            try:
+                self._verify_and_apply(acq, app_id)
+            finally:
+                acq.mapping.unmap()
+                del self.acquisitions[ino]
+            self.stats.releases += 1
+
+    def revoke(self, ino: int) -> None:
+        """Involuntary release: the kernel forcefully takes the inode back.
+
+        The owning LibFS may be mid-operation; its next access through the
+        mapping raises SimulatedBusError (it "may crash", §4.3) and the
+        core state is verified/rolled back like any other release.
+        """
+        with self._lock:
+            acq = self.acquisitions.get(ino)
+            if acq is None:
+                return
+            try:
+                self._verify_and_apply(acq, acq.app_id)
+            except CorruptionDetected:
+                pass  # policy already resolved it
+            finally:
+                acq.mapping.unmap()
+                del self.acquisitions[ino]
+            self.stats.revokes += 1
+
+    # ------------------------------------------------------------------ #
+    # Global rename lease (§4.6 patch)
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _lease_holder(app_id: str) -> str:
+        # The lease must serialize *threads*, not just applications (the
+        # §4.6 case-(1) race is between two threads of one LibFS), so the
+        # holder identity includes the calling thread.
+        return f"{app_id}/{threading.get_ident()}"
+
+    def rename_lock_acquire(self, app_id: str, timeout: float = 2.0) -> None:
+        self._require_app(app_id)
+        if not self.rename_lease.acquire(self._lease_holder(app_id), timeout=timeout):
+            raise TryAgain("global rename lease unavailable")
+
+    def rename_lock_release(self, app_id: str) -> None:
+        self.rename_lease.release(self._lease_holder(app_id))
+
+    def rename_lock_held(self, app_id: str) -> bool:
+        """Does any thread of ``app_id`` hold a live rename lease?"""
+        holder = self.rename_lease.held_by()
+        return holder is not None and holder.split("/", 1)[0] == app_id
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _require_app(self, app_id: str) -> AppInfo:
+        app = self.apps.get(app_id)
+        if app is None:
+            raise InvalidArgument(f"unregistered app {app_id!r}")
+        return app
+
+    def _require_acquisition(self, app_id: str, ino: int) -> Acquisition:
+        acq = self.acquisitions.get(ino)
+        if acq is None or acq.app_id != app_id:
+            raise InvalidArgument(f"inode {ino} not acquired by {app_id!r}")
+        return acq
+
+    def _verify_and_apply(self, acq: Acquisition, app_id: Optional[str]) -> None:
+        self.stats.verifications += 1
+        try:
+            staged = self.verifier.verify(acq.ino, app_id)
+        except VerifyFailure as vf:
+            if acq.ino in self.pending and acq.ino not in self.shadow:
+                # A Rule (1) ordering violation on a never-registered inode:
+                # nothing verified exists to protect, and no other app can
+                # reference it — refuse without resolution so the app can
+                # retry in the right order (cf. Figure 2).
+                raise CorruptionDetected(vf.ino, vf.reason) from vf
+            self.policy.resolve(self, acq.ino, acq.snapshot, vf.reason)
+            raise CorruptionDetected(vf.ino, vf.reason) from vf
+        self._apply(staged)
+
+    def _group_exit_verify(self, ino: int) -> None:
+        """Deferred verification when an inode leaves its trust group."""
+        self.stats.verifications += 1
+        snapshot = self._group_snapshots.pop(ino, None)
+        sh = self.shadow[ino]
+        try:
+            staged = self.verifier.verify(ino, None)
+        except VerifyFailure as vf:
+            self.policy.resolve(self, ino, snapshot, vf.reason)
+            sh.trusted_dirty_group = None
+            raise CorruptionDetected(vf.ino, vf.reason) from vf
+        self._apply(staged)
+        sh.trusted_dirty_group = None
+
+    def _apply(self, staged) -> None:
+        """Install a successful verification's staged shadow updates."""
+        sh = self.shadow.get(staged.ino)
+        self.stats.bytes_verified += staged.bytes_verified
+        if staged.drop_pending:
+            self.pending.pop(staged.ino, None)
+            self.free_inodes.add(staged.ino)
+            return
+        if staged.mark_deleted_pending:
+            if sh is not None:
+                sh.deleted_pending = True
+            return
+        for child_ino in staged.deleted:
+            self._drop_shadow(child_ino)
+        for child_ino in staged.detached:
+            csh = self.shadow.get(child_ino)
+            if csh is not None and csh.parent == staged.ino:
+                csh.parent = None
+        for cino, gen, itype, mode, uid, parent, name in staged.created:
+            self.pending.pop(cino, None)
+            self.shadow[cino] = ShadowInode(
+                ino=cino, gen=gen, itype=itype, mode=mode, uid=uid, parent=parent, name=name
+            )
+        for cino, new_parent, name in staged.reparented:
+            csh = self.shadow.get(cino)
+            if csh is None:
+                continue
+            old_parent = csh.parent
+            if (
+                self.config.shadow_parent_pointer
+                and old_parent is not None
+                and old_parent != new_parent
+            ):
+                # With the §4.1 patch the kernel *knows* this is a rename
+                # and updates the old parent's expectations.  Unpatched
+                # ArckFS has no such knowledge: the old parent still expects
+                # the child, so its verification later fails regardless of
+                # the release order — exactly the observed bug.
+                osh = self.shadow.get(old_parent)
+                if osh is not None and osh.children.get(csh.name) == cino:
+                    del osh.children[csh.name]
+            csh.parent = new_parent
+            csh.name = name
+        if staged.new_children is not None and sh is not None:
+            sh.children = dict(staged.new_children)
+        if staged.size is not None and sh is not None:
+            sh.size = staged.size
+        # Page ownership: this inode now owns exactly staged.pages.
+        old_pages = {p for p, owner in self.page_owner.items() if owner == staged.ino}
+        for page_no in old_pages - staged.pages:
+            del self.page_owner[page_no]
+        for page_no in staged.pages:
+            self.page_owner[page_no] = staged.ino
+        if sh is not None:
+            sh.deleted_pending = False
+            sh.trusted_dirty_group = None
+
+    def _drop_shadow(self, ino: int) -> None:
+        csh = self.shadow.pop(ino, None)
+        if csh is None:
+            return
+        for page_no in [p for p, owner in self.page_owner.items() if owner == ino]:
+            del self.page_owner[page_no]
+        self.free_inodes.add(ino)
+        self._group_snapshots.pop(ino, None)
+
+    def _snapshot(self, ino: int) -> Snapshot:
+        """Capture the inode's full verified core state (rollback point)."""
+        rec_bytes = self.device.load(self.geom.inode_off(ino), InodeRecord.SIZE)
+        rec = InodeRecord.unpack(rec_bytes)
+        pages: Dict[int, bytes] = {}
+        if rec.valid:
+            try:
+                page_list = (
+                    self.core.dir_pages(rec)
+                    if rec.is_dir
+                    else self.core.index_pages(rec) + self.core.file_pages(rec)
+                )
+            except ValueError:
+                page_list = []  # unparseable (it will fail verification)
+            for page_no in page_list:
+                pages[page_no] = self.device.load(self.geom.page_off(page_no), 4096)
+        snap = Snapshot(ino=ino, record=rec_bytes, pages=pages)
+        self.stats.snapshots += 1
+        self.stats.snapshot_bytes += snap.nbytes
+        return snap
+
+    # ------------------------------------------------------------------ #
+    # Audit (test/diagnostic helper)
+    # ------------------------------------------------------------------ #
+
+    def audit_tree(self) -> List[AuditIssue]:
+        """Check the shadow table itself forms a connected tree."""
+        issues: List[AuditIssue] = []
+        for ino, sh in self.shadow.items():
+            # Walk parent pointers; more hops than inodes means a cycle.
+            node: Optional[int] = ino
+            hops = 0
+            while node is not None:
+                if node == ROOT_INO:
+                    break
+                parent_sh = self.shadow.get(node)
+                if parent_sh is None or parent_sh.parent is None:
+                    if node != ROOT_INO:
+                        issues.append(
+                            AuditIssue("orphan", f"inode {ino}: chain dangles at {node}")
+                        )
+                    break
+                node = parent_sh.parent
+                hops += 1
+                if hops > len(self.shadow):
+                    issues.append(AuditIssue("cycle", f"inode {ino} is on a parent cycle"))
+                    break
+            for name, child in sh.children.items():
+                if child not in self.shadow:
+                    issues.append(
+                        AuditIssue("dangling-child", f"{ino}:{name!r} -> missing {child}")
+                    )
+        return issues

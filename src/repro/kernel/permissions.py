@@ -1,0 +1,43 @@
+"""Permission checks for inode acquisition.
+
+Trio's kernel controller grants access to an inode "if it has the
+appropriate permissions" (§2.1 ②).  We model a uid + rwx-bits scheme: the
+owner's permission triple applies to the owning uid, the "other" triple to
+everyone else (no groups — the paper's scenarios only need owner/other,
+e.g. §3.1's App1 lacking write permission on dir3 and file1).
+"""
+
+from __future__ import annotations
+
+from repro.errors import PermissionDenied
+
+READ = 4
+WRITE = 2
+EXEC = 1
+
+
+def mode_bits(mode: int, uid: int, accessor_uid: int) -> int:
+    """The rwx bits that apply to ``accessor_uid``."""
+    if accessor_uid == 0:  # root
+        return READ | WRITE | EXEC
+    if accessor_uid == uid:
+        return (mode >> 6) & 7
+    return mode & 7
+
+
+def check_access(mode: int, uid: int, accessor_uid: int, want: int, what: str = "") -> None:
+    """Raise :class:`PermissionDenied` unless all ``want`` bits are granted."""
+    have = mode_bits(mode, uid, accessor_uid)
+    if (have & want) != want:
+        raise PermissionDenied(
+            f"uid {accessor_uid} wants {want:o} on {what or 'inode'} "
+            f"(mode {mode:o}, owner {uid}, have {have:o})"
+        )
+
+
+def may_read(mode: int, uid: int, accessor_uid: int) -> bool:
+    return (mode_bits(mode, uid, accessor_uid) & READ) == READ
+
+
+def may_write(mode: int, uid: int, accessor_uid: int) -> bool:
+    return (mode_bits(mode, uid, accessor_uid) & WRITE) == WRITE

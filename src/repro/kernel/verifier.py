@@ -1,0 +1,395 @@
+"""The Trio integrity verifier.
+
+Verification runs on every ownership transfer (release), on every *commit*
+(verify-in-place while retaining ownership, [Trio §4.3]), and — for trust
+groups — when an inode leaves the group.  The verifier reads only the core
+state in PM plus the kernel's own shadow table; nothing the LibFS says is
+trusted.
+
+The invariant at the centre of the paper's §3 discussion is **I3**: the file
+system hierarchy forms a connected tree.  Concretely:
+
+* a *new* inode passes verification only after its parent directory's
+  verification has observed its dentry (LibFS Rule (1)) — before that the
+  inode is, from the kernel's perspective, disconnected from the root;
+* a dentry that *disappears* from a directory is interpreted as a deletion,
+  and deleting a non-empty directory fails verification;
+* the ArckFS+ parent pointer (§4.1) adds the missing third interpretation:
+  if the child's verified parent already points elsewhere, the child was
+  *renamed away* and the old parent passes.  Re-targeting the parent pointer
+  happens when the **new** parent commits, guarded by the paper's three
+  checks: the LibFS currently holds the old parent; the new parent is not a
+  descendant of the renamed inode; and (for directories) the LibFS holds the
+  global rename lease.
+
+Under the unpatched ArckFS flags the verifier reproduces the §4.1 behaviour
+faithfully: a legitimate relocation of a non-empty directory fails
+verification of the old parent, "regardless of whether the new parent inode
+has been released".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.config import ArckConfig
+from repro.core.corestate import CoreState
+from repro.pm.layout import (
+    ITYPE_DIR,
+    ITYPE_FILE,
+    PAGE_KIND_DIRLOG,
+    PAGE_KIND_INDEX,
+    PAGE_SIZE,
+    InodeRecord,
+)
+
+
+class VerifyFailure(Exception):
+    """Internal: verification rejected the inode's core state."""
+
+    def __init__(self, ino: int, reason: str):
+        super().__init__(f"inode {ino}: {reason}")
+        self.ino = ino
+        self.reason = reason
+
+
+@dataclass
+class StagedUpdate:
+    """Shadow-table mutations to apply if (and only if) verification passes."""
+
+    ino: int
+    bytes_verified: int = 0
+    #: (ino, gen, itype, mode, uid, parent, name) for newly created children.
+    created: List[Tuple[int, int, int, int, int, int, bytes]] = field(default_factory=list)
+    #: (child_ino, new_parent_ino, new_name) — incoming renames.
+    reparented: List[Tuple[int, int, bytes]] = field(default_factory=list)
+    #: child inos whose deletion is confirmed (shadow entry dropped).
+    deleted: List[int] = field(default_factory=list)
+    #: child inos renamed away under the old semantics (shadow entry kept,
+    #: detached) — ArckFS-mode bookkeeping for moved files.
+    detached: List[int] = field(default_factory=list)
+    #: the verified directory's new children map (dirs only).
+    new_children: Optional[Dict[bytes, int]] = None
+    #: pages now owned by this inode.
+    pages: Set[int] = field(default_factory=set)
+    #: verified file size (files only).
+    size: Optional[int] = None
+    #: the inode's record was found freed; deletion pending parent confirm.
+    mark_deleted_pending: bool = False
+    #: a pending (never linked) inode was fully undone; return its slot.
+    drop_pending: bool = False
+
+
+class Verifier:
+    """Checks one inode's core state against the shadow table."""
+
+    def __init__(self, controller):
+        # The controller owns shadow/pending/acquisitions/page_owner; we
+        # only read them here and return staged updates.
+        self.kc = controller
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def config(self) -> ArckConfig:
+        return self.kc.config
+
+    @property
+    def core(self) -> CoreState:
+        return self.kc.core
+
+    def verify(self, ino: int, app_id: Optional[str], *,
+               trusted: bool = False) -> StagedUpdate:
+        """Verify ``ino`` as released/committed by ``app_id``.
+
+        Returns the staged shadow updates; raises :class:`VerifyFailure`.
+        ``app_id`` may be None for group-exit verification, in which case
+        the acquisition-dependent rename checks fail closed.
+
+        ``trusted`` is the intra-trust-group mode (§5.4): the structural
+        reconciliation (register created children, apply renames and
+        deletions) still runs — the kernel must know which inodes exist to
+        hand them to other group members — but every integrity check is
+        waived.  Full verification is deferred until the inode leaves the
+        group.
+        """
+        kc = self.kc
+        sh = kc.shadow.get(ino)
+        pending = kc.pending.get(ino)
+        if sh is None and pending is None:
+            raise VerifyFailure(ino, "unknown inode")
+
+        staged = StagedUpdate(ino=ino)
+        rec = self.core.read_inode(ino)
+        staged.bytes_verified += InodeRecord.SIZE
+
+        if sh is None:
+            if not rec.valid:
+                # The creation was fully undone (create + unlink before any
+                # commit): return the never-linked slot.
+                staged.drop_pending = True
+                return staged
+            # LibFS Rule (1): a newly created inode is disconnected from the
+            # root until its parent's verification registered it.
+            raise VerifyFailure(ino, "I3: new inode not connected to the root yet")
+
+        if not rec.valid:
+            # The LibFS freed the record (unlink of an acquired inode).  The
+            # deletion is confirmed when the parent's verification sees the
+            # tombstoned dentry; until then remember it.
+            staged.mark_deleted_pending = True
+            return staged
+
+        if not trusted:
+            self._check_record(ino, rec, sh)
+        try:
+            if rec.itype == ITYPE_DIR:
+                self._verify_directory(ino, rec, sh, app_id, staged, trusted)
+            else:
+                self._verify_file(ino, rec, sh, staged, trusted)
+        except ValueError as exc:
+            # Chain walkers refuse cyclic/out-of-range page pointers; an
+            # unparseable core state is corruption by definition.
+            raise VerifyFailure(ino, f"unparseable core state: {exc}") from exc
+        return staged
+
+    # ------------------------------------------------------------------ #
+
+    def _check_record(self, ino: int, rec: InodeRecord, sh) -> None:
+        if rec.gen != sh.gen:
+            raise VerifyFailure(ino, f"generation changed ({sh.gen} -> {rec.gen})")
+        if rec.itype != sh.itype:
+            raise VerifyFailure(ino, f"type changed ({sh.itype} -> {rec.itype})")
+        if rec.mode != sh.mode or rec.uid != sh.uid:
+            raise VerifyFailure(ino, "permission bits or owner changed")
+
+    def _check_page(self, ino: int, page_no: int, kind: Optional[int]) -> None:
+        kc = self.kc
+        geom = kc.geom
+        if not 1 <= page_no <= geom.page_count:
+            raise VerifyFailure(ino, f"page {page_no} out of range")
+        if not kc.alloc.is_allocated(page_no):
+            raise VerifyFailure(ino, f"page {page_no} not allocated")
+        owner = kc.page_owner.get(page_no)
+        if owner is not None and owner != ino:
+            raise VerifyFailure(ino, f"page {page_no} owned by inode {owner}")
+        if kind is not None:
+            hdr = self.core.read_page_header(page_no)
+            if hdr.kind != kind:
+                raise VerifyFailure(ino, f"page {page_no} has kind {hdr.kind}, want {kind}")
+
+    # ------------------------------------------------------------------ #
+    # Directories
+    # ------------------------------------------------------------------ #
+
+    def _verify_directory(self, ino: int, rec, sh, app_id, staged: StagedUpdate,
+                          trusted: bool = False) -> None:
+        kc = self.kc
+        pages = self.core.dir_pages(rec)
+        if len(set(pages)) != len(pages):
+            raise VerifyFailure(ino, "directory log page chain repeats a page")
+        if not trusted:
+            for page_no in pages:
+                self._check_page(ino, page_no, PAGE_KIND_DIRLOG)
+        staged.pages.update(pages)
+        staged.bytes_verified += len(pages) * PAGE_SIZE
+
+        entries = self.core.live_dentries(rec)
+        new_children: Dict[bytes, int] = {}
+
+        for name, d in entries.items():
+            if name in (b".", b"..") or b"/" in name or not name:
+                raise VerifyFailure(ino, f"illegal dentry name {name!r}")
+            new_children[name] = d.ino
+            known_child = sh.children.get(name)
+            child_sh = kc.shadow.get(d.ino)
+            child_pending = kc.pending.get(d.ino)
+
+            if known_child == d.ino and child_sh is not None and child_sh.gen == d.gen:
+                continue  # unchanged entry
+
+            if trusted:
+                # §5.4: register/reparent without checks.
+                if child_sh is not None:
+                    staged.reparented.append((d.ino, ino, name))
+                elif child_pending is not None:
+                    child_rec = self.core.read_inode(d.ino)
+                    staged.bytes_verified += InodeRecord.SIZE
+                    if child_rec.valid:
+                        staged.created.append(
+                            (d.ino, d.gen, child_rec.itype, child_rec.mode,
+                             child_rec.uid, ino, name)
+                        )
+                    else:
+                        del new_children[name]
+                else:
+                    del new_children[name]
+                continue
+
+            if child_sh is not None:
+                # Existing inode appearing (or re-appearing) under this dir:
+                # an incoming rename.
+                if child_sh.gen != d.gen:
+                    raise VerifyFailure(
+                        ino, f"dentry {name!r} has stale generation for inode {d.ino}"
+                    )
+                if child_sh.parent == ino:
+                    # Same parent, new name: an in-directory rename; the old
+                    # name simply disappears (handled below).
+                    staged.reparented.append((d.ino, ino, name))
+                    continue
+                if child_sh.is_dir and self.config.shadow_parent_pointer:
+                    # Directory relocation is the per-operation-verified
+                    # special case of the §4.1 patch; plain file moves (e.g.
+                    # FxMark's MWRM) carry no I3 risk and need no checks.
+                    self._check_incoming_rename(ino, d.ino, child_sh, app_id)
+                # ArckFS mode: accepted unconditionally (no checks — which is
+                # why concurrent cross-renames can create a cycle, §4.6).
+                staged.reparented.append((d.ino, ino, name))
+            elif child_pending is not None:
+                # A creation by the owning application.
+                if app_id is not None and child_pending.owner != app_id:
+                    raise VerifyFailure(
+                        ino, f"dentry {name!r} references inode pending for another app"
+                    )
+                if child_pending.gen != d.gen:
+                    raise VerifyFailure(ino, f"dentry {name!r} generation mismatch")
+                child_rec = self.core.read_inode(d.ino)
+                staged.bytes_verified += InodeRecord.SIZE
+                if not child_rec.valid:
+                    raise VerifyFailure(
+                        ino,
+                        f"dentry {name!r} committed but inode {d.ino} record invalid "
+                        "(partially persisted creation?)",
+                    )
+                if child_rec.gen != d.gen or child_rec.itype != d.itype:
+                    raise VerifyFailure(ino, f"dentry {name!r} disagrees with inode record")
+                staged.created.append(
+                    (d.ino, d.gen, child_rec.itype, child_rec.mode, child_rec.uid, ino, name)
+                )
+            else:
+                raise VerifyFailure(ino, f"dentry {name!r} references unknown inode {d.ino}")
+
+        # Children the shadow table knows but the log no longer shows.
+        for name, child_ino in sh.children.items():
+            if new_children.get(name) == child_ino:
+                continue
+            child_sh = kc.shadow.get(child_ino)
+            if child_sh is None:
+                continue  # already reclaimed
+            if child_ino in new_children.values():
+                continue  # in-directory rename handled above
+            if trusted:
+                child_rec = self.core.read_inode(child_ino)
+                if child_rec.valid:
+                    staged.detached.append(child_ino)
+                else:
+                    staged.deleted.append(child_ino)
+                continue
+            self._missing_child(ino, name, child_ino, child_sh, staged)
+
+        staged.new_children = new_children
+
+    def _check_incoming_rename(self, new_parent: int, child_ino: int, child_sh, app_id) -> None:
+        """The three ArckFS+ checks of §4.1 for re-targeting a parent pointer."""
+        kc = self.kc
+        # (1) The LibFS currently acquires the old parent.
+        old_parent = child_sh.parent
+        acq = kc.acquisitions.get(old_parent) if old_parent is not None else None
+        if app_id is None or acq is None or acq.app_id != app_id:
+            raise VerifyFailure(
+                new_parent,
+                f"rename of inode {child_ino}: old parent {old_parent} not held by releasing app",
+            )
+        # (2) The new parent is not a descendant of the renamed inode.
+        node: Optional[int] = new_parent
+        hops = 0
+        while node is not None and hops <= len(kc.shadow) + 1:
+            if node == child_ino:
+                raise VerifyFailure(
+                    new_parent,
+                    f"rename of inode {child_ino} would create a cycle (I3)",
+                )
+            parent_sh = kc.shadow.get(node)
+            node = parent_sh.parent if parent_sh else None
+            hops += 1
+        # (3) For directories, the LibFS holds the global rename lease.
+        if child_sh.is_dir and self.config.global_rename_lock:
+            if not kc.rename_lock_held(app_id):
+                raise VerifyFailure(
+                    new_parent,
+                    f"rename of inode {child_ino}: releasing app does not hold "
+                    "the global rename lease",
+                )
+
+    def _missing_child(self, ino: int, name: bytes, child_ino: int, child_sh, staged) -> None:
+        """A verified child's dentry is gone: deleted, or renamed away?"""
+        if self.config.shadow_parent_pointer:
+            if child_sh.parent != ino or child_sh.name != name:
+                # Renamed away: the new parent's commit already re-targeted
+                # the parent pointer (LibFS Rule (2) guarantees that order).
+                return
+            # Parent pointer still points here -> deletion (or, for files
+            # and empty directories, a move whose new parent has not yet
+            # committed — harmless either way, since I3 can only be violated
+            # through a non-empty directory).
+            if child_sh.nonempty_dir:
+                raise VerifyFailure(
+                    ino, f"I3: dentry {name!r} removed but directory {child_ino} is non-empty"
+                )
+            child_rec = self.core.read_inode(child_ino)
+            staged.bytes_verified += InodeRecord.SIZE
+            if child_rec.valid:
+                staged.detached.append(child_ino)
+            else:
+                staged.deleted.append(child_ino)
+            return
+        # --- unpatched ArckFS: no parent pointer, deletion is the only
+        # interpretation the verifier can check (§4.1). ------------------- #
+        if child_sh.nonempty_dir:
+            # The bug: a legitimately relocated non-empty directory fails the
+            # old parent's verification, since it looks like an I3 violation.
+            raise VerifyFailure(
+                ino,
+                f"I3: dentry {name!r} removed but directory {child_ino} is non-empty "
+                "(cannot distinguish deletion from rename)",
+            )
+        child_rec = self.core.read_inode(child_ino)
+        staged.bytes_verified += InodeRecord.SIZE
+        if child_rec.valid:
+            # File (or empty dir) still live: assume it moved; keep the
+            # shadow entry detached until it shows up under a new parent.
+            staged.detached.append(child_ino)
+        else:
+            staged.deleted.append(child_ino)
+
+    # ------------------------------------------------------------------ #
+    # Regular files
+    # ------------------------------------------------------------------ #
+
+    def _verify_file(self, ino: int, rec, sh, staged: StagedUpdate,
+                     trusted: bool = False) -> None:
+        if trusted:
+            staged.size = rec.size
+            staged.pages.update(self.core.index_pages(rec))
+            staged.pages.update(self.core.file_pages(rec))
+            return
+        index_pages = self.core.index_pages(rec)
+        if len(set(index_pages)) != len(index_pages):
+            raise VerifyFailure(ino, "file index chain repeats a page")
+        for page_no in index_pages:
+            self._check_page(ino, page_no, PAGE_KIND_INDEX)
+        data_pages = self.core.file_pages(rec)
+        if len(set(data_pages)) != len(data_pages):
+            raise VerifyFailure(ino, "file maps a data page twice")
+        for page_no in data_pages:
+            self._check_page(ino, page_no, None)
+        if rec.size > len(data_pages) * PAGE_SIZE:
+            raise VerifyFailure(
+                ino, f"size {rec.size} exceeds mapped capacity {len(data_pages) * PAGE_SIZE}"
+            )
+        staged.pages.update(index_pages)
+        staged.pages.update(data_pages)
+        staged.size = rec.size
+        staged.bytes_verified += (len(index_pages) + len(data_pages)) * PAGE_SIZE

@@ -1,0 +1,18 @@
+"""A LevelDB-like LSM key-value store, running on any FileSystem.
+
+The paper's §5.3 evaluates LevelDB on every file system; this package is
+the reproduction substrate: a write-ahead log, an in-memory memtable,
+sorted-string tables with block index and Bloom filter, size-tiered
+compaction, a manifest for atomic installs, and merged iterators.  It uses
+only the :class:`repro.basefs.base.FileSystem` interface, so it runs
+unmodified on the ArckFS LibFS and on every baseline.
+
+The paper's finding — LevelDB is data-dominated, so ArckFS+ ≈ ArckFS —
+follows from the op mix this store generates (bulk pwrite/pread, few
+namespace ops), which ``repro.workloads.leveldb_bench`` measures.
+"""
+
+from repro.kv.db import DB
+from repro.kv.options import Options
+
+__all__ = ["DB", "Options"]

@@ -1,0 +1,209 @@
+"""The LSM database: WAL + memtable + levelled SSTables + manifest.
+
+Directory layout (inside the host file system)::
+
+    <root>/MANIFEST            current live-table list (atomic install)
+    <root>/wal.log             write-ahead log of the active memtable
+    <root>/sst/<n>.sst         immutable tables
+
+The MANIFEST is a text file listing ``level table-file`` pairs plus the
+next file number and last sequence; it is replaced atomically by writing
+``MANIFEST.tmp`` and renaming over the old one (unlink + rename — the
+CURRENT-file dance of LevelDB, collapsed to one file).
+
+Compaction is size-tiered: when a level accumulates
+``options.tables_per_level`` tables, they merge (with any overlapping
+upper level dropped in) into one table at the next level; tombstones are
+dropped only at the bottom level.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.basefs.base import FileSystem
+from repro.kv.iterator import merge, scan
+from repro.kv.memtable import MemTable
+from repro.kv.options import Options
+from repro.kv.sstable import SSTable, SSTableWriter
+from repro.kv.wal import OP_DELETE, OP_PUT, WALWriter, replay
+
+
+class DB:
+    def __init__(self, fs: FileSystem, root: str = "/db",
+                 options: Optional[Options] = None):
+        self.fs = fs
+        self.root = root.rstrip("/")
+        self.options = options or Options()
+        self._lock = threading.RLock()
+        self._mem = MemTable()
+        self._seq = 0
+        self._next_file = 1
+        #: level -> list of table file names (oldest first).
+        self._levels: Dict[int, List[str]] = {}
+        self._tables: Dict[str, SSTable] = {}
+        self.stats = {"flushes": 0, "compactions": 0, "wal_replayed": 0}
+        self._open()
+
+    # ------------------------------------------------------------------ #
+    # Open / recovery
+    # ------------------------------------------------------------------ #
+
+    def _manifest_path(self) -> str:
+        return f"{self.root}/MANIFEST"
+
+    def _wal_path(self) -> str:
+        return f"{self.root}/wal.log"
+
+    def _open(self) -> None:
+        if not self.fs.exists(self.root):
+            self.fs.makedirs(f"{self.root}/sst")
+        if self.fs.exists(self._manifest_path()):
+            self._load_manifest()
+        for seq, op, key, value in replay(self.fs, self._wal_path()):
+            self._seq = max(self._seq, seq)
+            if op == OP_PUT:
+                self._mem.put(seq, key, value)
+            else:
+                self._mem.delete(seq, key)
+            self.stats["wal_replayed"] += 1
+        self._wal = WALWriter(self.fs, self._wal_path(),
+                              sync=self.options.sync_writes)
+
+    def _load_manifest(self) -> None:
+        text = self.fs.read_file(self._manifest_path()).decode()
+        for line in text.splitlines():
+            parts = line.split()
+            if not parts:
+                continue
+            if parts[0] == "next":
+                self._next_file = int(parts[1])
+            elif parts[0] == "seq":
+                self._seq = int(parts[1])
+            elif parts[0] == "table":
+                level, name = int(parts[1]), parts[2]
+                self._levels.setdefault(level, []).append(name)
+                self._tables[name] = SSTable(self.fs, f"{self.root}/sst/{name}")
+
+    def _write_manifest(self) -> None:
+        lines = [f"next {self._next_file}", f"seq {self._seq}"]
+        for level in sorted(self._levels):
+            for name in self._levels[level]:
+                lines.append(f"table {level} {name}")
+        tmp = self._manifest_path() + ".tmp"
+        if self.fs.exists(tmp):
+            self.fs.unlink(tmp)
+        self.fs.write_file(tmp, "\n".join(lines).encode())
+        if self.fs.exists(self._manifest_path()):
+            self.fs.unlink(self._manifest_path())
+        self.fs.rename(tmp, self._manifest_path())
+
+    # ------------------------------------------------------------------ #
+    # Mutations
+    # ------------------------------------------------------------------ #
+
+    def put(self, key: bytes, value: bytes) -> None:
+        with self._lock:
+            self._seq += 1
+            self._wal.append(self._seq, OP_PUT, key, value)
+            self._mem.put(self._seq, key, value)
+            self._maybe_flush()
+
+    def delete(self, key: bytes) -> None:
+        with self._lock:
+            self._seq += 1
+            self._wal.append(self._seq, OP_DELETE, key, b"")
+            self._mem.delete(self._seq, key)
+            self._maybe_flush()
+
+    def _maybe_flush(self) -> None:
+        if self._mem.nbytes >= self.options.memtable_bytes:
+            self.flush()
+
+    def flush(self) -> None:
+        """Memtable -> new L0 table; truncate the WAL."""
+        with self._lock:
+            if len(self._mem) == 0:
+                return
+            name = f"{self._next_file:06d}.sst"
+            self._next_file += 1
+            writer = SSTableWriter(self.fs, f"{self.root}/sst/{name}", self.options)
+            writer.write(self._mem.items_sorted())
+            self._levels.setdefault(0, []).append(name)
+            self._tables[name] = SSTable(self.fs, f"{self.root}/sst/{name}")
+            self._mem = MemTable()
+            self._write_manifest()
+            # WAL content is now durable in the table.
+            self._wal.close()
+            self.fs.unlink(self._wal_path())
+            self._wal = WALWriter(self.fs, self._wal_path(),
+                                  sync=self.options.sync_writes)
+            self.stats["flushes"] += 1
+            self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        for level in range(self.options.levels - 1):
+            if len(self._levels.get(level, [])) >= self.options.tables_per_level:
+                self.compact_level(level)
+
+    def compact_level(self, level: int) -> None:
+        """Merge every table of ``level`` (plus the next level) downward."""
+        with self._lock:
+            upper = self._levels.get(level, [])
+            lower = self._levels.get(level + 1, [])
+            victims = upper + lower
+            if not victims:
+                return
+            bottom = level + 1 >= self.options.levels - 1
+            sources = [iter(self._tables[name]) for name in victims]
+            name = f"{self._next_file:06d}.sst"
+            self._next_file += 1
+            writer = SSTableWriter(self.fs, f"{self.root}/sst/{name}", self.options)
+            count = writer.write(merge(sources, keep_tombstones=not bottom))
+            self._levels[level] = []
+            self._levels[level + 1] = [name] if count else []
+            self._tables[name] = SSTable(self.fs, f"{self.root}/sst/{name}")
+            self._write_manifest()
+            for victim in victims:
+                del self._tables[victim]
+                self.fs.unlink(f"{self.root}/sst/{victim}")
+            self.stats["compactions"] += 1
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        with self._lock:
+            found, value = self._mem.get(key)
+            if found:
+                return value
+            for level in sorted(self._levels):
+                # Newest table in a level wins.
+                for name in reversed(self._levels[level]):
+                    found, value = self._tables[name].get(key)
+                    if found:
+                        return value
+            return None
+
+    def _all_sources(self):
+        sources = [iter(list(self._mem.items_sorted()))]
+        for level in sorted(self._levels):
+            for name in reversed(self._levels[level]):
+                sources.append(iter(self._tables[name]))
+        return sources
+
+    def scan(self, start: Optional[bytes] = None,
+             end: Optional[bytes] = None) -> Iterator[Tuple[bytes, bytes]]:
+        with self._lock:
+            sources = self._all_sources()
+        return scan(merge(sources), start, end)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.scan())
+
+    def close(self) -> None:
+        with self._lock:
+            self.flush()
+            self._wal.close()

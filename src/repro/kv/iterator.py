@@ -1,0 +1,46 @@
+"""Merged iteration over memtable + SSTables (newest wins)."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, List, Optional, Tuple
+
+Entry = Tuple[bytes, int, Optional[bytes]]  # key, seq, value (None = tombstone)
+
+
+def merge(sources: List[Iterator[Entry]], *, keep_tombstones: bool = False
+          ) -> Iterator[Entry]:
+    """K-way merge of sorted entry streams; for equal keys the entry with
+    the highest seq wins and older ones are dropped.  Tombstones are
+    filtered out unless ``keep_tombstones`` (compactions above the bottom
+    level must keep them to mask older data)."""
+    heap: List[Tuple[bytes, int, int, Entry, Iterator[Entry]]] = []
+    for si, src in enumerate(sources):
+        first = next(src, None)
+        if first is not None:
+            # Negative seq so the newest version of a key pops first.
+            heapq.heappush(heap, (first[0], -first[1], si, first, src))
+    last_key: Optional[bytes] = None
+    while heap:
+        key, _negseq, si, entry, src = heapq.heappop(heap)
+        nxt = next(src, None)
+        if nxt is not None:
+            heapq.heappush(heap, (nxt[0], -nxt[1], si, nxt, src))
+        if key == last_key:
+            continue  # an older version of the same key
+        last_key = key
+        if entry[2] is None and not keep_tombstones:
+            continue
+        yield entry
+
+
+def scan(entries: Iterator[Entry], start: Optional[bytes] = None,
+         end: Optional[bytes] = None) -> Iterator[Tuple[bytes, bytes]]:
+    """Range scan over a merged stream: yields (key, value) in order."""
+    for key, _seq, value in entries:
+        if start is not None and key < start:
+            continue
+        if end is not None and key >= end:
+            return
+        if value is not None:
+            yield key, value

@@ -1,0 +1,47 @@
+"""In-memory write buffer.
+
+A dict with O(1) point lookups; ordered iteration sorts lazily (Python has
+no standard skiplist, and flush/scan are the only ordered consumers).
+Deletions are tombstones so they mask older SSTable entries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+#: value sentinel for deletions.
+TOMBSTONE = None
+
+
+class MemTable:
+    def __init__(self) -> None:
+        self._data: Dict[bytes, Tuple[int, Optional[bytes]]] = {}
+        self.nbytes = 0
+
+    def put(self, seq: int, key: bytes, value: bytes) -> None:
+        self._upsert(seq, key, value)
+
+    def delete(self, seq: int, key: bytes) -> None:
+        self._upsert(seq, key, TOMBSTONE)
+
+    def _upsert(self, seq: int, key: bytes, value: Optional[bytes]) -> None:
+        old = self._data.get(key)
+        if old is not None:
+            self.nbytes -= len(key) + (len(old[1]) if old[1] is not None else 0)
+        self._data[key] = (seq, value)
+        self.nbytes += len(key) + (len(value) if value is not None else 0)
+
+    def get(self, key: bytes) -> Tuple[bool, Optional[bytes]]:
+        """(found, value); value None with found=True means tombstoned."""
+        hit = self._data.get(key)
+        if hit is None:
+            return False, None
+        return True, hit[1]
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def items_sorted(self) -> Iterator[Tuple[bytes, int, Optional[bytes]]]:
+        for key in sorted(self._data):
+            seq, value = self._data[key]
+            yield key, seq, value

@@ -1,0 +1,21 @@
+"""Tunables for the KV store."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Options:
+    #: flush the memtable to an SSTable beyond this many bytes.
+    memtable_bytes: int = 64 * 1024
+    #: target data-block size inside an SSTable.
+    block_bytes: int = 4 * 1024
+    #: compact a level once it holds this many tables.
+    tables_per_level: int = 4
+    #: number of levels (the last level drops tombstones on compaction).
+    levels: int = 4
+    #: bits per key in each table's Bloom filter.
+    bloom_bits_per_key: int = 10
+    #: fsync the WAL on every write (LevelDB's `sync` option).
+    sync_writes: bool = True

@@ -1,0 +1,74 @@
+"""Write-ahead log.
+
+Every mutation is appended as a CRC-protected record before it touches the
+memtable; replay on open reconstructs the unflushed tail of the database.
+
+Record layout::
+
+    crc u32 | seq u64 | op u8 | klen u32 | vlen u32 | key | value
+
+``crc`` covers everything after itself.  Replay stops at the first record
+whose CRC fails (the torn tail of a crash).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Iterator, Optional, Tuple
+
+from repro.basefs.base import FileSystem
+
+_HDR = struct.Struct("<IQBII")
+OP_PUT = 1
+OP_DELETE = 2
+
+
+class WALWriter:
+    def __init__(self, fs: FileSystem, path: str, sync: bool = True):
+        self.fs = fs
+        self.path = path
+        self.sync = sync
+        self._fd = fs.open(path, create=True)
+        self._offset = fs.stat(path).size
+
+    def append(self, seq: int, op: int, key: bytes, value: bytes) -> None:
+        body = _HDR.pack(0, seq, op, len(key), len(value))[4:] + key + value
+        crc = zlib.crc32(body)
+        record = struct.pack("<I", crc) + body
+        self.fs.pwrite(self._fd, record, self._offset)
+        self._offset += len(record)
+        if self.sync:
+            self.fs.fsync(self._fd)
+
+    @property
+    def nbytes(self) -> int:
+        return self._offset
+
+    def close(self) -> None:
+        self.fs.close(self._fd)
+
+
+def replay(fs: FileSystem, path: str) -> Iterator[Tuple[int, int, bytes, bytes]]:
+    """Yield (seq, op, key, value) for every intact record."""
+    if not fs.exists(path):
+        return
+    size = fs.stat(path).size
+    fd = fs.open(path)
+    try:
+        off = 0
+        while off + _HDR.size <= size:
+            hdr = fs.pread(fd, _HDR.size, off)
+            if len(hdr) < _HDR.size:
+                return
+            crc, seq, op, klen, vlen = _HDR.unpack(hdr)
+            body_len = _HDR.size - 4 + klen + vlen
+            body = fs.pread(fd, body_len, off + 4)
+            if len(body) < body_len or zlib.crc32(body) != crc:
+                return  # torn tail
+            key = body[_HDR.size - 4 : _HDR.size - 4 + klen]
+            value = body[_HDR.size - 4 + klen :]
+            yield seq, op, key, value
+            off += 4 + body_len
+    finally:
+        fs.close(fd)

@@ -1,0 +1,18 @@
+"""ArckFS / ArckFS+ — the per-application library file system.
+
+A :class:`~repro.libfs.libfs.LibFS` is one application's file-system
+instance: it acquires inodes from the kernel controller on demand, maps
+their core state, builds DRAM auxiliary state (per-directory hash tables,
+per-file page lists), and serves a POSIX-like API with direct PM access —
+no syscall on the data path, synchronous persistence, and ``fsync`` that
+returns immediately (§2.2).
+
+Which of the paper's six bugs are present is decided by the
+:class:`~repro.core.config.ArckConfig` it is constructed with
+(:data:`~repro.core.config.ARCKFS` vs :data:`~repro.core.config.ARCKFS_PLUS`).
+"""
+
+from repro.core.config import ARCKFS, ARCKFS_PLUS, ArckConfig
+from repro.libfs.libfs import LibFS, StatResult
+
+__all__ = ["LibFS", "StatResult", "ARCKFS", "ARCKFS_PLUS", "ArckConfig"]

@@ -1,0 +1,255 @@
+"""The per-directory DRAM hash table (auxiliary state).
+
+Each directory's LibFS index is a fixed-size bucket array of singly linked
+nodes; each bucket has a spinlock (paper footnote 4: the artifact uses
+spinlocks here, not readers-writer locks).  Three of the paper's bugs live
+in and around this structure:
+
+* §4.4 — in ArckFS the bucket lock covers only the DRAM insert, not the
+  corresponding PM append, so another thread can observe an aux entry whose
+  core data does not exist yet (``node.loc is None``) and fault.  The
+  ArckFS+ patch extends the bucket-lock critical section over the PM update
+  (the *caller* arranges this; the table just exposes its locks).
+* §4.5 — ArckFS readers traverse buckets with **no** lock, assuming nodes
+  are never freed.  They are: removal pushes nodes onto a freelist that
+  poisons them (our stand-in for free()+realloc), and a concurrent reader
+  dereferences a poisoned node → :class:`SimulatedSegfault`.  The ArckFS+
+  patch wraps readers in RCU read-side critical sections and defers the
+  free to a grace period.
+* §4.3 — voluntary inode release must exclude concurrent operations; the
+  ArckFS+ patch takes *all* bucket locks (:meth:`DirHashTable.lock_all`)
+  and retains the table (rather than freeing it) after release.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from typing import Callable, Iterator, List, Optional
+
+from repro.concurrency.failpoints import failpoints
+from repro.concurrency.rcu import RCU
+from repro.concurrency.spinlock import SpinLock
+from repro.core.config import ArckConfig
+from repro.core.corestate import DentryLoc
+from repro.errors import SimulatedSegfault
+
+
+class Node:
+    """One directory entry in the DRAM index."""
+
+    __slots__ = ("name", "ino", "gen", "itype", "seq", "loc", "next", "poisoned")
+
+    def __init__(self, name: bytes, ino: int, gen: int, itype: int, seq: int,
+                 loc: Optional[DentryLoc]):
+        self.name = name
+        self.ino = ino
+        self.gen = gen
+        self.itype = itype
+        self.seq = seq
+        #: PM location of the backing dentry; None between the aux insert
+        #: and the core append (the §4.4 window).
+        self.loc = loc
+        self.next: Optional[Node] = None
+        self.poisoned = False
+
+    def check(self) -> None:
+        """Fault on dereference of freed memory (the §4.5 segfault)."""
+        if self.poisoned:
+            raise SimulatedSegfault(
+                f"dereference of freed directory entry (was {self.name!r})"
+            )
+
+
+class NodeFreelist:
+    """Models the artifact allocator: freed nodes are poisoned and reused."""
+
+    def __init__(self) -> None:
+        self._free: List[Node] = []
+        self._lock = threading.Lock()
+        self.frees = 0
+        self.reuses = 0
+
+    def free(self, node: Node) -> None:
+        node.poisoned = True
+        node.next = None
+        with self._lock:
+            self._free.append(node)
+            self.frees += 1
+
+    def alloc(self, name: bytes, ino: int, gen: int, itype: int, seq: int,
+              loc: Optional[DentryLoc]) -> Node:
+        with self._lock:
+            node = self._free.pop() if self._free else None
+            if node is not None:
+                self.reuses += 1
+        if node is None:
+            return Node(name, ino, gen, itype, seq, loc)
+        # Reuse overwrites the old contents — exactly why a lock-free reader
+        # holding a stale pointer is unsafe.
+        node.name = name
+        node.ino = ino
+        node.gen = gen
+        node.itype = itype
+        node.seq = seq
+        node.loc = loc
+        node.next = None
+        node.poisoned = False
+        return node
+
+
+class Bucket:
+    __slots__ = ("lock", "head")
+
+    def __init__(self, name: str):
+        self.lock = SpinLock(name)
+        self.head: Optional[Node] = None
+
+
+class DirHashTable:
+    """Auxiliary directory index: fixed buckets, per-bucket spinlocks."""
+
+    def __init__(self, config: ArckConfig, rcu: RCU, freelist: NodeFreelist,
+                 tag: str = "dir"):
+        self.config = config
+        self.rcu = rcu
+        self.freelist = freelist
+        self.nbuckets = config.dir_buckets
+        self.buckets = [Bucket(f"{tag}.bucket{i}") for i in range(self.nbuckets)]
+        self.count = 0  # live entries; mutated under bucket locks only
+
+    # ------------------------------------------------------------------ #
+
+    def bucket_index(self, name: bytes) -> int:
+        # crc32 rather than hash(): deterministic across processes, so
+        # collision-dependent tests and benchmarks are reproducible.
+        return zlib.crc32(name) % self.nbuckets
+
+    def bucket_of(self, name: bytes) -> Bucket:
+        return self.buckets[self.bucket_index(name)]
+
+    # ------------------------------------------------------------------ #
+    # Read side
+    # ------------------------------------------------------------------ #
+
+    def _walk(self, bucket: Bucket, name: bytes) -> Optional[Node]:
+        node = bucket.head
+        while node is not None:
+            failpoints.hit("dir.bucket_traverse", node)
+            node.check()
+            if node.name == name:
+                return node
+            node = node.next
+        return None
+
+    def lookup(self, name: bytes) -> Optional[Node]:
+        """Find an entry.  ArckFS: lock-free (bug §4.5); ArckFS+: RCU."""
+        bucket = self.bucket_of(name)
+        if self.config.rcu_buckets:
+            with self.rcu.read():
+                return self._walk(bucket, name)
+        return self._walk(bucket, name)
+
+    def lookup_locked(self, name: bytes) -> Optional[Node]:
+        """Find an entry; caller holds the bucket lock (writer paths)."""
+        return self._walk(self.bucket_of(name), name)
+
+    def items(self) -> Iterator[Node]:
+        """Iterate every entry (readdir).  Same read-side discipline."""
+        if self.config.rcu_buckets:
+            self.rcu.read_lock()
+        try:
+            for bucket in self.buckets:
+                node = bucket.head
+                while node is not None:
+                    failpoints.hit("dir.bucket_traverse", node)
+                    node.check()
+                    yield node
+                    node = node.next
+        finally:
+            if self.config.rcu_buckets:
+                self.rcu.read_unlock()
+
+    # ------------------------------------------------------------------ #
+    # Write side (caller holds the bucket lock)
+    # ------------------------------------------------------------------ #
+
+    def insert_locked(self, node: Node) -> None:
+        bucket = self.bucket_of(node.name)
+        if not bucket.lock.held_by_me():
+            raise RuntimeError("insert without bucket lock")
+        node.next = bucket.head
+        bucket.head = node
+        self.count += 1
+
+    def remove_locked(self, name: bytes) -> Optional[Node]:
+        """Unlink the entry from its chain and *free* it.
+
+        Under ArckFS the free is immediate (poison + freelist) — the §4.5
+        use-after-free.  Under ArckFS+ the free is deferred via RCU.
+        """
+        bucket = self.bucket_of(name)
+        if not bucket.lock.held_by_me():
+            raise RuntimeError("remove without bucket lock")
+        prev: Optional[Node] = None
+        node = bucket.head
+        while node is not None:
+            if node.name == name:
+                if prev is None:
+                    bucket.head = node.next
+                else:
+                    prev.next = node.next
+                self.count -= 1
+                if self.config.rcu_buckets:
+                    self.rcu.call_rcu(lambda n=node: self.freelist.free(n))
+                else:
+                    self.freelist.free(node)
+                return node
+            prev = node
+            node = node.next
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Whole-table operations
+    # ------------------------------------------------------------------ #
+
+    def lock_all(self) -> None:
+        """Take every bucket lock in index order (§4.3 release path)."""
+        for bucket in self.buckets:
+            bucket.lock.acquire()
+
+    def unlock_all(self) -> None:
+        for bucket in reversed(self.buckets):
+            bucket.lock.release()
+
+    def clear_and_free(self) -> None:
+        """Free every node immediately (ArckFS release path, §4.3 bug:
+        auxiliary state is freed while others may still be using it)."""
+        for bucket in self.buckets:
+            node = bucket.head
+            bucket.head = None
+            while node is not None:
+                nxt = node.next
+                self.freelist.free(node)
+                node = nxt
+        self.count = 0
+
+    def rebuild(self, entries) -> None:
+        """Replace contents from (name -> Dentry-like) after re-acquire."""
+        for bucket in self.buckets:
+            node = bucket.head
+            bucket.head = None
+            while node is not None:
+                nxt = node.next
+                if self.config.rcu_buckets:
+                    self.rcu.call_rcu(lambda n=node: self.freelist.free(n))
+                else:
+                    self.freelist.free(node)
+                node = nxt
+        self.count = 0
+        for name, (ino, gen, itype, seq, loc) in entries.items():
+            bucket = self.bucket_of(name)
+            node = self.freelist.alloc(name, ino, gen, itype, seq, loc)
+            node.next = bucket.head
+            bucket.head = node
+            self.count += 1

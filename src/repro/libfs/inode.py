@@ -1,0 +1,88 @@
+"""In-memory (DRAM, auxiliary) inode state of a LibFS.
+
+A :class:`MemInode` combines:
+
+* the mapping handle through which the inode's core state is accessed;
+* cached shadow fields (size/type/mode/...) — the §4.3 patch makes read
+  operations (stat, path lookup, readdir) serve from these instead of the
+  PM mapping, so a released inode can still be read without faulting;
+* for directories: the hash-table index, the per-tail log cursors and
+  locks, and the index-tail lock (§2.2's three lock types);
+* for regular files: the page list and the readers-writer lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional
+
+from repro.concurrency.rcu import RCU
+from repro.concurrency.rwlock import RWLock
+from repro.concurrency.spinlock import SpinLock
+from repro.core.config import ArckConfig
+from repro.core.corestate import TailCursor
+from repro.libfs.hashtable import DirHashTable, NodeFreelist
+from repro.pm.layout import ITYPE_DIR, InodeRecord
+from repro.pm.mapping import Mapping
+
+
+class MemInode:
+    """One acquired (or retained-after-release) inode."""
+
+    def __init__(self, ino: int, record: InodeRecord, config: ArckConfig,
+                 rcu: RCU, freelist: NodeFreelist):
+        self.ino = ino
+        self.config = config
+        self.record = record  # DRAM copy of the core inode record
+        self.mapping: Optional[Mapping] = None
+        self.writable = False
+        #: parent inode as last observed by path resolution (aux knowledge,
+        #: used to order release_all parents-before-children, Rule (1)).
+        self.parent_ino: Optional[int] = None
+        #: serialises attach/detach transitions for this inode.
+        self.attach_lock = threading.RLock()
+
+        # Cached shadow fields (§4.3): readers use these, never the mapping.
+        self.gen = record.gen
+        self.itype = record.itype
+        self.mode = record.mode
+        self.uid = record.uid
+        self.size = record.size
+        self.nlink = record.nlink
+
+        if self.is_dir:
+            self.dir = DirHashTable(config, rcu, freelist, tag=f"ino{ino}")
+            self.tail_locks = [
+                SpinLock(f"ino{ino}.tail{i}") for i in range(config.dir_tails)
+            ]
+            self.index_lock = SpinLock(f"ino{ino}.index")
+            self.cursors: List[TailCursor] = [
+                TailCursor(head_page=h) for h in record.tails
+            ]
+            self.rwlock = None
+            self.pages: List[int] = []
+        else:
+            self.dir = None
+            self.tail_locks = []
+            self.index_lock = SpinLock(f"ino{ino}.index")
+            self.cursors = []
+            self.rwlock = RWLock(f"ino{ino}.rw")
+            #: DRAM page index (auxiliary); rebuilt from the PM page index.
+            self.pages = []
+
+    @property
+    def is_dir(self) -> bool:
+        return self.itype == ITYPE_DIR
+
+    @property
+    def attached(self) -> bool:
+        return self.mapping is not None and self.mapping.valid
+
+    def pick_tail(self) -> int:
+        """Spread appends across log tails by thread (multi-tailed log)."""
+        return threading.get_ident() % self.config.dir_tails
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "dir" if self.is_dir else "file"
+        state = "attached" if self.attached else "detached"
+        return f"<MemInode {self.ino} {kind} {state}>"

@@ -1,0 +1,884 @@
+"""The ArckFS library file system (LibFS).
+
+One instance per application.  The public API is POSIX-like and path-based:
+``creat``, ``open``, ``close``, ``pread``/``pwrite``/``read``/``write``,
+``unlink``, ``mkdir``, ``rmdir``, ``readdir``, ``stat``, ``rename``,
+``truncate``, ``fsync`` (returns immediately; all persistence is
+synchronous, §2.2), plus the Trio ownership verbs ``commit_path``,
+``release_path`` and ``release_all``.
+
+Every paper bug site is compiled in, guarded by the
+:class:`~repro.core.config.ArckConfig` flags and instrumented with
+failpoints (see :mod:`repro.concurrency.failpoints`):
+
+* creation uses the commit-marker protocol with or without the §4.2 fence;
+* the §4.4 window between the DRAM hash insert and the PM append exists
+  unless ``extended_bucket_lock`` keeps the bucket lock across both;
+* directory readers are lock-free (§4.5) unless ``rcu_buckets``;
+* voluntary release frees the auxiliary state and takes no locks (§4.3)
+  unless ``locked_release``;
+* directory renames skip the global lease and the descendant check (§4.6)
+  unless the corresponding flags are set, and follow the multi-inode Rules
+  (2)/(3) of §3.2 only when ``rename_commit_protocol`` is set.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.concurrency.failpoints import failpoints
+from repro.concurrency.lease import LeaseExpired
+from repro.concurrency.rcu import RCU
+from repro.core.config import ArckConfig
+from repro.core.corestate import CoreState, DentryLoc
+from repro.core.mkfs import ROOT_INO
+from repro.errors import (
+    Exists,
+    FSError,
+    InvalidArgument,
+    IsADir,
+    NoEntry,
+    NotADir,
+    NotEmpty,
+    SimulatedSegfault,
+    WouldLoop,
+)
+from repro.kernel.controller import KernelController
+from repro.libfs import paths
+from repro.libfs.fdtable import FDTable, FileDescriptor
+from repro.libfs.hashtable import NodeFreelist
+from repro.libfs.inode import MemInode
+from repro.pm.layout import (
+    INODE_MAGIC,
+    ITYPE_DIR,
+    ITYPE_FILE,
+    NTAILS,
+    PAGE_SIZE,
+    Dentry,
+    InodeRecord,
+)
+
+
+@dataclass(frozen=True)
+class StatResult:
+    ino: int
+    itype: int
+    size: int
+    mode: int
+    uid: int
+    gen: int
+
+    @property
+    def is_dir(self) -> bool:
+        return self.itype == ITYPE_DIR
+
+
+@dataclass
+class LibFSStats:
+    creates: int = 0
+    opens: int = 0
+    unlinks: int = 0
+    mkdirs: int = 0
+    rmdirs: int = 0
+    renames: int = 0
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    lookups: int = 0
+    readdirs: int = 0
+    stats_: int = 0
+    fsyncs: int = 0
+
+
+class LibFS:
+    """Per-application ArckFS instance over a Trio kernel controller."""
+
+    def __init__(
+        self,
+        kernel: KernelController,
+        app_id: str,
+        uid: int = 1000,
+        config: Optional[ArckConfig] = None,
+        group: Optional[str] = None,
+    ):
+        self.kernel = kernel
+        self.app_id = app_id
+        self.uid = uid
+        self.config = config if config is not None else kernel.config
+        kernel.register_app(app_id, uid, group)
+        self.geom = kernel.geom
+        self.alloc = kernel.alloc
+        self.rcu = RCU(f"{app_id}.rcu")
+        self.freelist = NodeFreelist()
+        self.fdtable = FDTable()
+        self.stats = LibFSStats()
+        self._inodes: Dict[int, MemInode] = {}
+        self._inodes_lock = threading.RLock()
+
+    # ================================================================== #
+    # Attach / detach machinery
+    # ================================================================== #
+
+    def _cs(self, mi: MemInode) -> CoreState:
+        return CoreState(mi.mapping, self.geom)
+
+    def _rebuild_aux(self, mi: MemInode) -> None:
+        """(Re)build the DRAM auxiliary state from the mapped core state."""
+        cs = self._cs(mi)
+        rec = cs.read_inode(mi.ino)
+        mi.record = rec
+        mi.gen = rec.gen
+        mi.itype = rec.itype
+        mi.mode = rec.mode
+        mi.uid = rec.uid
+        mi.size = rec.size
+        mi.nlink = rec.nlink
+        if mi.is_dir:
+            for tail_idx, head in enumerate(rec.tails):
+                cursor, _records = cs.scan_tail(head) if head else (None, None)
+                if cursor is None:
+                    mi.cursors[tail_idx].head_page = 0
+                    mi.cursors[tail_idx].last_page = 0
+                    mi.cursors[tail_idx].used = 0
+                else:
+                    mi.cursors[tail_idx] = cursor
+            entries = {}
+            for name, (d, loc) in cs.live_dentries_with_loc(rec).items():
+                entries[name] = (d.ino, d.gen, d.itype, d.seq, loc)
+            mi.dir.rebuild(entries)
+        else:
+            mi.pages = cs.file_pages(rec)
+
+    def _attach(self, ino: int, write: bool = False,
+                parent_ino: Optional[int] = None) -> MemInode:
+        """Ensure the inode is acquired and its auxiliary state usable."""
+        with self._inodes_lock:
+            mi = self._inodes.get(ino)
+        if mi is None:
+            mapping, _stale = self.kernel.acquire_ex(self.app_id, ino, write=write)
+            rec = CoreState(mapping, self.geom).read_inode(ino)
+            mi = MemInode(ino, rec, self.config, self.rcu, self.freelist)
+            mi.mapping = mapping
+            mi.writable = write
+            mi.parent_ino = parent_ino
+            self._rebuild_aux(mi)
+            with self._inodes_lock:
+                existing = self._inodes.get(ino)
+                if existing is not None:
+                    mi = existing  # lost the build race; kernel grant is shared
+                else:
+                    self._inodes[ino] = mi
+            if write and not mi.writable:
+                mi.writable = True
+            return mi
+        if mi.attached and (mi.writable or not write):
+            return mi
+        with mi.attach_lock:
+            if mi.attached and (mi.writable or not write):
+                return mi
+            mapping, stale = self.kernel.acquire_ex(
+                self.app_id, ino, write=write or mi.writable
+            )
+            mi.mapping = mapping
+            mi.writable = mi.writable or write
+            if stale:
+                # Another application owned it meanwhile: the retained aux
+                # state is no longer the core state's image — rebuild.
+                self._rebuild_aux(mi)
+        return mi
+
+    def _get_for_read(self, ino: int) -> MemInode:
+        """An inode usable for read operations.
+
+        Under the §4.3 patch, a retained (released) MemInode serves reads
+        from cached state without a kernel round trip; otherwise attach.
+        """
+        with self._inodes_lock:
+            mi = self._inodes.get(ino)
+        if mi is not None and (mi.attached or self.config.locked_release):
+            return mi
+        return self._attach(ino, write=False)
+
+    def _lock_bucket_attached(self, mi: MemInode, name: bytes):
+        """Take the bucket lock for ``name`` with the inode attached+writable.
+
+        Loops because (under the §4.3 patch) a concurrent release may detach
+        the inode between the attach and the lock acquisition; once we hold
+        the bucket lock, an ArckFS+ release (which takes all bucket locks)
+        cannot unmap underneath us.  Unpatched ArckFS keeps the race — the
+        §4.3 bug.
+        """
+        bucket = mi.dir.bucket_of(name)
+        while True:
+            self._attach(mi.ino, write=True)
+            bucket.lock.acquire()
+            if mi.attached and mi.writable:
+                return bucket
+            bucket.lock.release()
+
+    # ================================================================== #
+    # Path resolution
+    # ================================================================== #
+
+    def _lookup_node(self, dir_mi: MemInode, name: bytes):
+        self.stats.lookups += 1
+        return dir_mi.dir.lookup(name)
+
+    def _resolve_dir(self, path: str) -> MemInode:
+        """Walk ``path`` (which must name a directory), attaching as needed."""
+        cur = self._get_for_read(ROOT_INO)
+        for comp in paths.components(path):
+            if not cur.is_dir:
+                raise NotADir(path)
+            node = self._lookup_node(cur, comp.encode())
+            if node is None:
+                raise NoEntry(path)
+            if node.itype != ITYPE_DIR:
+                raise NotADir(path)
+            child = self._get_for_read(node.ino)
+            child.parent_ino = cur.ino
+            cur = child
+        return cur
+
+    def _resolve_parent(self, path: str) -> Tuple[MemInode, bytes]:
+        parent_path, leaf = paths.split(path)
+        parent = self._resolve_dir(parent_path)
+        return parent, leaf.encode()
+
+    # ================================================================== #
+    # Creation
+    # ================================================================== #
+
+    def _write_new_inode_record(self, mapping, ino: int, gen: int, itype: int,
+                                mode: int) -> InodeRecord:
+        rec = InodeRecord(
+            magic=INODE_MAGIC,
+            itype=itype,
+            mode=mode,
+            uid=self.uid,
+            gen=gen,
+            size=0,
+            nlink=2 if itype == ITYPE_DIR else 1,
+            seq=0,
+            index_root=0,
+            tails=[0] * NTAILS,
+        )
+        # Step 1 of the commit protocol: store + clwb, NO fence — the fence
+        # (or its §4.2 absence) is handled by append_dentry.
+        CoreState(mapping, self.geom).write_inode_noflush(ino, rec)
+        return rec
+
+    def _append_dentry(self, parent: MemInode, name: bytes, ino: int, gen: int,
+                       itype: int, seq: int) -> DentryLoc:
+        """Append a committed dentry to the parent's multi-tailed log."""
+        tail = parent.pick_tail()
+        cursor = parent.cursors[tail]
+        lock = parent.tail_locks[tail]
+        with lock:
+            failpoints.hit("dir.write_mid", name)
+            cs = self._cs(parent)
+            rec_len = Dentry.record_len(name)
+            needs_alloc = (
+                cursor.head_page == 0
+                or cursor.used + rec_len > PAGE_SIZE - 16  # may extend the chain
+            )
+            if needs_alloc:
+                # The index-tail lock protects inode-record tail-head updates
+                # and chain extension (§2.2's third lock type).
+                with parent.index_lock:
+                    return cs.append_dentry(
+                        parent.ino, parent.record, tail, cursor, name, ino, gen,
+                        itype, seq, self.alloc,
+                        fence_before_marker=self.config.fence_before_marker,
+                        failpoints=failpoints,
+                    )
+            return cs.append_dentry(
+                parent.ino, parent.record, tail, cursor, name, ino, gen,
+                itype, seq, self.alloc,
+                fence_before_marker=self.config.fence_before_marker,
+                failpoints=failpoints,
+            )
+
+    def _create_common(self, path: str, mode: int, itype: int) -> MemInode:
+        parent, name = self._resolve_parent(path)
+        ino, gen = self.kernel.alloc_inode(self.app_id)
+        child_mapping, _ = self.kernel.acquire_ex(self.app_id, ino, write=True)
+        bucket = self._lock_bucket_attached(parent, name)
+        inserted = False
+        extended = self.config.extended_bucket_lock
+        try:
+            if parent.dir.lookup_locked(name) is not None:
+                raise Exists(path)
+            node = self.freelist.alloc(name, ino, gen, itype, seq=1, loc=None)
+            parent.dir.insert_locked(node)
+            inserted = True
+            if not extended:
+                # §4.4 bug: the bucket lock does not cover the core append.
+                bucket.lock.release()
+            failpoints.hit("creat.pre_core_append", path)
+            rec = self._write_new_inode_record(child_mapping, ino, gen, itype, mode)
+            node.loc = self._append_dentry(parent, name, ino, gen, itype, seq=1)
+        except BaseException:
+            if inserted:
+                if not extended:
+                    bucket.lock.acquire()
+                try:
+                    parent.dir.remove_locked(name)
+                finally:
+                    bucket.lock.release()
+            else:
+                bucket.lock.release()
+            self.kernel.abort_inode(self.app_id, ino)
+            raise
+        else:
+            if extended:
+                bucket.lock.release()
+
+        child = MemInode(ino, rec, self.config, self.rcu, self.freelist)
+        child.mapping = child_mapping
+        child.writable = True
+        child.parent_ino = parent.ino
+        with self._inodes_lock:
+            self._inodes[ino] = child
+        return child
+
+    def creat(self, path: str, mode: int = 0o664) -> int:
+        """Create a regular file; returns a writable file descriptor."""
+        path = paths.normalize(path)
+        child = self._create_common(path, mode, ITYPE_FILE)
+        self.stats.creates += 1
+        return self.fdtable.install(child, path).fd
+
+    def mkdir(self, path: str, mode: int = 0o775) -> None:
+        path = paths.normalize(path)
+        self._create_common(path, mode, ITYPE_DIR)
+        self.stats.mkdirs += 1
+
+    # ================================================================== #
+    # Open / close / stat / readdir
+    # ================================================================== #
+
+    def open(self, path: str, create: bool = False, mode: int = 0o664) -> int:
+        path = paths.normalize(path)
+        parent, name = self._resolve_parent(path)
+        node = self._lookup_node(parent, name)
+        if node is None:
+            if create:
+                return self.creat(path, mode)
+            raise NoEntry(path)
+        if node.itype == ITYPE_DIR:
+            raise IsADir(path)
+        mi = self._get_for_read(node.ino)
+        mi.parent_ino = parent.ino
+        self.stats.opens += 1
+        return self.fdtable.install(mi, path).fd
+
+    def close(self, fd: int) -> None:
+        self.fdtable.close(fd)
+
+    def stat(self, path: str) -> StatResult:
+        path = paths.normalize(path)
+        self.stats.stats_ += 1
+        if path == "/":
+            mi = self._get_for_read(ROOT_INO)
+        else:
+            parent, name = self._resolve_parent(path)
+            node = self._lookup_node(parent, name)
+            if node is None:
+                raise NoEntry(path)
+            mi = self._get_for_read(node.ino)
+            mi.parent_ino = parent.ino
+        # §4.3 patch: served entirely from cached in-memory inode state.
+        return StatResult(
+            ino=mi.ino, itype=mi.itype, size=mi.size, mode=mi.mode,
+            uid=mi.uid, gen=mi.gen,
+        )
+
+    def readdir(self, path: str) -> List[str]:
+        mi = self._resolve_dir(paths.normalize(path))
+        if not mi.is_dir:
+            raise NotADir(path)
+        self.stats.readdirs += 1
+        return sorted(node.name.decode() for node in mi.dir.items())
+
+    def exists(self, path: str) -> bool:
+        try:
+            self.stat(path)
+            return True
+        except FSError:
+            return False
+
+    # ================================================================== #
+    # Data path
+    # ================================================================== #
+
+    def _ensure_file(self, entry: FileDescriptor) -> MemInode:
+        mi = entry.mi
+        if mi.is_dir:
+            raise IsADir(entry.path)
+        return mi
+
+    def pwrite(self, fd: int, data: bytes, offset: int) -> int:
+        entry = self.fdtable.get(fd)
+        mi = self._ensure_file(entry)
+        if offset < 0:
+            raise InvalidArgument("negative offset")
+        data = bytes(data)
+        mi.rwlock.acquire_write()
+        try:
+            self._attach(mi.ino, write=True)
+            cs = self._cs(mi)
+            end = offset + len(data)
+            existing = len(mi.pages)
+            needed = (end + PAGE_SIZE - 1) // PAGE_SIZE
+            new_pages = (
+                self.alloc.alloc_many(needed - existing) if needed > existing else []
+            )
+            all_pages = mi.pages + new_pages
+            pos = offset
+            di = 0
+            while di < len(data):
+                page_idx = pos // PAGE_SIZE
+                in_page = pos % PAGE_SIZE
+                chunk = min(len(data) - di, PAGE_SIZE - in_page)
+                cs.write_page_data(all_pages[page_idx], in_page, data[di : di + chunk])
+                pos += chunk
+                di += chunk
+            mi.mapping.sfence()  # data durable before metadata commits it
+            if new_pages:
+                cs.append_file_pages(mi.ino, mi.record, existing, new_pages, self.alloc)
+                mi.pages = all_pages
+            if end > mi.size:
+                cs.set_file_size(mi.ino, end)
+                mi.record.size = end
+                mi.size = end
+            self.stats.writes += 1
+            self.stats.bytes_written += len(data)
+            return len(data)
+        finally:
+            mi.rwlock.release_write()
+
+    def pread(self, fd: int, n: int, offset: int) -> bytes:
+        entry = self.fdtable.get(fd)
+        mi = self._ensure_file(entry)
+        mi.rwlock.acquire_read()
+        try:
+            self._attach(mi.ino, write=False)
+            cs = self._cs(mi)
+            out = cs.read_file_data(mi.pages, mi.size, offset, n)
+            self.stats.reads += 1
+            self.stats.bytes_read += len(out)
+            return out
+        finally:
+            mi.rwlock.release_read()
+
+    def write(self, fd: int, data: bytes) -> int:
+        """Write at the file offset (sequential write)."""
+        entry = self.fdtable.get(fd)
+        off = entry.advance(len(data))
+        return self.pwrite(fd, data, off)
+
+    def read(self, fd: int, n: int) -> bytes:
+        entry = self.fdtable.get(fd)
+        off = entry.advance(0)
+        out = self.pread(fd, n, off)
+        entry.advance(len(out))
+        return out
+
+    def lseek(self, fd: int, offset: int) -> None:
+        entry = self.fdtable.get(fd)
+        with entry._offset_lock:
+            entry.offset = offset
+
+    def truncate(self, path: str, size: int) -> None:
+        """Shrink (or logically extend) a file to ``size`` bytes."""
+        path = paths.normalize(path)
+        parent, name = self._resolve_parent(path)
+        node = self._lookup_node(parent, name)
+        if node is None:
+            raise NoEntry(path)
+        if node.itype == ITYPE_DIR:
+            raise IsADir(path)
+        mi = self._attach(node.ino, write=True)
+        mi.rwlock.acquire_write()
+        try:
+            cs = self._cs(mi)
+            if size >= mi.size:
+                cs.set_file_size(mi.ino, size)
+                mi.size = size
+                mi.record.size = size
+                return
+            # Shrink: commit the new size first, then unmap trailing pages.
+            cs.set_file_size(mi.ino, size)
+            mi.size = size
+            mi.record.size = size
+            keep = (size + PAGE_SIZE - 1) // PAGE_SIZE
+            if keep < len(mi.pages):
+                self._drop_trailing_pages(mi, cs, keep)
+        finally:
+            mi.rwlock.release_write()
+
+    def _drop_trailing_pages(self, mi: MemInode, cs: CoreState, keep: int) -> None:
+        """Zero index slots past ``keep`` and free the data pages."""
+        import struct as _struct
+
+        from repro.pm.layout import INDEX_SLOTS, PAGEHDR_SIZE
+
+        chain = cs.index_pages(mi.record)
+        dropped = mi.pages[keep:]
+        for pos in range(keep, len(mi.pages)):
+            idx_page = chain[pos // INDEX_SLOTS]
+            slot = pos % INDEX_SLOTS
+            addr = self.geom.page_off(idx_page) + PAGEHDR_SIZE + slot * 8
+            mi.mapping.atomic_store(addr, _struct.pack("<Q", 0))
+            mi.mapping.clwb(addr, 8)
+        mi.mapping.sfence()
+        for page_no in dropped:
+            self.alloc.free(page_no)
+        mi.pages = mi.pages[:keep]
+
+    def fsync(self, fd: int) -> None:
+        """Returns immediately: every operation already persisted (§2.2)."""
+        self.fdtable.get(fd)
+        self.stats.fsyncs += 1
+
+    # ================================================================== #
+    # Unlink / rmdir
+    # ================================================================== #
+
+    def unlink(self, path: str) -> None:
+        path = paths.normalize(path)
+        parent, name = self._resolve_parent(path)
+        bucket = self._lock_bucket_attached(parent, name)
+        try:
+            node = parent.dir.lookup_locked(name)
+            if node is None:
+                raise NoEntry(path)
+            if node.itype == ITYPE_DIR:
+                raise IsADir(path)
+            ino, loc = node.ino, node.loc
+            parent.dir.remove_locked(name)
+            failpoints.hit("dir.write_mid", path)
+            if loc is None:
+                # §4.4: the auxiliary state says the entry exists, the core
+                # state has no dentry yet — dereferencing "core data" that
+                # does not exist is the artifact's segmentation fault.
+                raise SimulatedSegfault(
+                    f"unlink({path}): aux entry present but core dentry missing"
+                )
+            self._cs(parent).tombstone(loc)
+        finally:
+            bucket.lock.release()
+        self._free_file_inode(ino)
+        self.stats.unlinks += 1
+
+    def _free_file_inode(self, ino: int) -> None:
+        """Free a just-unlinked file's pages and record, then hand the inode
+        back to the kernel (whose verification confirms the deletion when
+        the parent is next verified)."""
+        mi = self._attach(ino, write=True)
+        mi.rwlock.acquire_write()
+        try:
+            cs = self._cs(mi)
+            for page_no in cs.index_pages(mi.record) + mi.pages:
+                self.alloc.free(page_no)
+            cs.free_inode(ino)
+        finally:
+            mi.rwlock.release_write()
+        self.kernel.release(self.app_id, ino)
+        with self._inodes_lock:
+            self._inodes.pop(ino, None)
+
+    def rmdir(self, path: str) -> None:
+        path = paths.normalize(path)
+        if path == "/":
+            raise InvalidArgument("cannot remove the root")
+        parent, name = self._resolve_parent(path)
+        bucket = self._lock_bucket_attached(parent, name)
+        child_locked = False
+        child = None
+        try:
+            node = parent.dir.lookup_locked(name)
+            if node is None:
+                raise NoEntry(path)
+            if node.itype != ITYPE_DIR:
+                raise NotADir(path)
+            child = self._attach(node.ino, write=True)
+            child.dir.lock_all()
+            child_locked = True
+            if child.dir.count != 0:
+                raise NotEmpty(path)
+            if node.loc is None:
+                raise SimulatedSegfault(
+                    f"rmdir({path}): aux entry present but core dentry missing"
+                )
+            self._cs(parent).tombstone(node.loc)
+            parent.dir.remove_locked(name)
+            cs = self._cs(child)
+            for page_no in cs.dir_pages(child.record):
+                self.alloc.free(page_no)
+            cs.free_inode(child.ino)
+        finally:
+            if child_locked:
+                child.dir.unlock_all()
+            bucket.lock.release()
+        self.kernel.release(self.app_id, child.ino)
+        with self._inodes_lock:
+            self._inodes.pop(child.ino, None)
+        self.stats.rmdirs += 1
+
+    # ================================================================== #
+    # Rename (§3.2 rules, §4.1/§4.6 patches)
+    # ================================================================== #
+
+    def rename(self, oldpath: str, newpath: str) -> None:
+        oldpath = paths.normalize(oldpath)
+        newpath = paths.normalize(newpath)
+        if oldpath == "/" or newpath == "/":
+            raise InvalidArgument("cannot rename the root")
+        if oldpath == newpath:
+            return
+        old_parent_path, oldname = paths.split(oldpath)
+        new_parent_path, newname = paths.split(newpath)
+
+        if self.config.descendant_check and paths.is_descendant(oldpath, newpath):
+            # §4.6 case (2): renaming a directory into its own subtree.
+            raise WouldLoop(f"{newpath} is inside {oldpath}")
+
+        old_parent = self._resolve_dir(old_parent_path)
+        src = self._lookup_node(old_parent, oldname.encode())
+        if src is None:
+            raise NoEntry(oldpath)
+        is_dir = src.itype == ITYPE_DIR
+
+        # Resolve the destination parent before taking the lease so lease
+        # hold time stays short.
+        new_parent = self._resolve_dir(new_parent_path)
+        cross = new_parent.ino != old_parent.ino
+        dir_relocation = is_dir and cross
+
+        holding_lease = False
+        if dir_relocation:
+            if self.config.rename_commit_protocol:
+                # Rules (1)+(3): commit the destination chain top-down so
+                # the (possibly newly created) new parent is verifiable
+                # *before* the rename (Figure 2's resolution).
+                self._commit_path_chain(new_parent_path)
+            if self.config.global_rename_lock:
+                self.kernel.rename_lock_acquire(self.app_id)
+                holding_lease = True
+        try:
+            if holding_lease:
+                # Re-resolve under the lease: a concurrent rename may have
+                # moved either path while we waited (the §4.6 case-(1)
+                # interleaving).  Unpatched ArckFS uses the pre-resolved
+                # parents — the TOCTOU window that creates cycles.
+                old_parent = self._resolve_dir(old_parent_path)
+                new_parent = self._resolve_dir(new_parent_path)
+            failpoints.hit("rename.pre_apply", (oldpath, newpath))
+            self._apply_rename(old_parent, oldname.encode(),
+                               new_parent, newname.encode())
+            if dir_relocation and self.config.rename_commit_protocol:
+                # Rule (2): commit the new parent before the old parent can
+                # be committed/released; this re-targets the shadow parent
+                # pointer (§4.1 patch).
+                self.kernel.commit(self.app_id, new_parent.ino)
+        finally:
+            if holding_lease:
+                try:
+                    self.kernel.rename_lock_release(self.app_id)
+                except LeaseExpired:
+                    pass  # lapsed mid-operation; the verifier's check (3)
+                    # protects integrity, nothing left to release
+        self.stats.renames += 1
+
+    def _commit_path_chain(self, dir_path: str) -> None:
+        """Commit every directory from the root down to ``dir_path``."""
+        chain = [ROOT_INO]
+        cur = self._get_for_read(ROOT_INO)
+        for comp in paths.components(dir_path):
+            node = self._lookup_node(cur, comp.encode())
+            if node is None:
+                raise NoEntry(dir_path)
+            chain.append(node.ino)
+            cur = self._get_for_read(node.ino)
+        for ino in chain:
+            self._attach(ino, write=True)
+            self.kernel.commit(self.app_id, ino)
+
+    def _apply_rename(self, old_parent: MemInode, oldname: bytes,
+                      new_parent: MemInode, newname: bytes) -> None:
+        """Move one dentry; both parents' relevant buckets locked in a
+        global order (ino, bucket index) to avoid ABBA deadlocks."""
+        self._attach(old_parent.ino, write=True)
+        self._attach(new_parent.ino, write=True)
+        old_bucket = old_parent.dir.bucket_of(oldname)
+        new_bucket = new_parent.dir.bucket_of(newname)
+        locks = sorted(
+            {
+                (old_parent.ino, old_parent.dir.bucket_index(oldname)): old_bucket,
+                (new_parent.ino, new_parent.dir.bucket_index(newname)): new_bucket,
+            }.items()
+        )
+        for _key, bucket in locks:
+            bucket.lock.acquire()
+        try:
+            src = old_parent.dir.lookup_locked(oldname)
+            if src is None:
+                raise NoEntry(oldname.decode())
+            if new_parent.dir.lookup_locked(newname) is not None:
+                raise Exists(newname.decode())
+            if src.loc is None:
+                raise SimulatedSegfault(
+                    f"rename: aux entry {oldname!r} has no core dentry"
+                )
+            new_seq = src.seq + 1
+            loc = self._append_dentry(
+                new_parent, newname, src.ino, src.gen, src.itype, new_seq
+            )
+            node = self.freelist.alloc(newname, src.ino, src.gen, src.itype,
+                                       new_seq, loc)
+            new_parent.dir.insert_locked(node)
+            self._cs(old_parent).tombstone(src.loc)
+            old_parent.dir.remove_locked(oldname)
+            with self._inodes_lock:
+                child_mi = self._inodes.get(src.ino)
+            if child_mi is not None:
+                child_mi.parent_ino = new_parent.ino
+        finally:
+            for _key, bucket in reversed(locks):
+                bucket.lock.release()
+
+    # ================================================================== #
+    # Trio ownership verbs
+    # ================================================================== #
+
+    def _path_ino(self, path: str) -> int:
+        path = paths.normalize(path)
+        if path == "/":
+            return ROOT_INO
+        parent, name = self._resolve_parent(path)
+        node = self._lookup_node(parent, name)
+        if node is None:
+            raise NoEntry(path)
+        return node.ino
+
+    def commit_path(self, path: str) -> None:
+        """Verify the inode in place, retaining ownership ([21, §4.3])."""
+        ino = self._path_ino(path)
+        self._attach(ino, write=True)
+        try:
+            self.kernel.commit(self.app_id, ino)
+        except Exception:
+            self._invalidate_aux(ino)
+            raise
+
+    def release_path(self, path: str) -> None:
+        self.release_ino(self._path_ino(path))
+
+    def release_ino(self, ino: int) -> None:
+        """Voluntary release (§4.3 — the patch changes everything here)."""
+        with self._inodes_lock:
+            mi = self._inodes.get(ino)
+        if mi is None or not mi.attached:
+            return
+        if self.config.locked_release:
+            # ArckFS+: exclude every concurrent operation, then unmap; the
+            # auxiliary state and locks are retained for cached reads.
+            if mi.is_dir:
+                mi.dir.lock_all()
+            else:
+                mi.rwlock.acquire_write()
+            try:
+                failpoints.hit("release.pre_unmap", ino)
+                try:
+                    self.kernel.release(self.app_id, ino)
+                except Exception:
+                    self._invalidate_aux(ino)
+                    raise
+            finally:
+                if mi.is_dir:
+                    mi.dir.unlock_all()
+                else:
+                    mi.rwlock.release_write()
+        else:
+            # ArckFS: no exclusion, and the auxiliary state is freed while
+            # other threads may still be traversing it (§4.3 bug).
+            failpoints.hit("release.pre_unmap", ino)
+            try:
+                self.kernel.release(self.app_id, ino)
+            finally:
+                with self._inodes_lock:
+                    self._inodes.pop(ino, None)
+                if mi.is_dir:
+                    mi.dir.clear_and_free()
+
+    def _invalidate_aux(self, ino: int) -> None:
+        """After a verification failure the core state may have been rolled
+        back; the retained aux state is garbage either way."""
+        with self._inodes_lock:
+            self._inodes.pop(ino, None)
+
+    def release_all(self) -> None:
+        """Release everything, parents before children (LibFS Rule (1))."""
+        with self._inodes_lock:
+            owned = [mi for mi in self._inodes.values() if mi.attached]
+        for mi in sorted(owned, key=lambda m: self._depth(m)):
+            if mi.attached:
+                try:
+                    self.release_ino(mi.ino)
+                except FSError:
+                    pass
+
+    def _depth(self, mi: MemInode) -> int:
+        depth = 0
+        node = mi
+        seen = set()
+        while node is not None and node.ino != ROOT_INO and node.ino not in seen:
+            seen.add(node.ino)
+            depth += 1
+            parent_ino = getattr(node, "parent_ino", None)
+            if parent_ino is None:
+                return depth + 100  # unknown lineage: release late
+            with self._inodes_lock:
+                node = self._inodes.get(parent_ino)
+        return depth
+
+    # ================================================================== #
+    # Conveniences (shared contract with repro.basefs.base.FileSystem)
+    # ================================================================== #
+
+    def write_file(self, path: str, data: bytes) -> None:
+        fd = self.open(path, create=True)
+        try:
+            self.pwrite(fd, data, 0)
+            self.fsync(fd)
+        finally:
+            self.close(fd)
+
+    def read_file(self, path: str) -> bytes:
+        fd = self.open(path)
+        try:
+            return self.pread(fd, self.stat(path).size, 0)
+        finally:
+            self.close(fd)
+
+    def makedirs(self, path: str) -> None:
+        cur = ""
+        for comp in paths.components(path):
+            cur += "/" + comp
+            if not self.exists(cur):
+                self.mkdir(cur)
+
+    def quiesce(self) -> None:
+        """Run deferred RCU frees (test/shutdown helper)."""
+        self.rcu.barrier()
+
+    def shutdown(self) -> None:
+        self.fdtable.close_all()
+        self.release_all()
+        self.quiesce()
+        self.kernel.app_shutdown(self.app_id)

@@ -1,0 +1,51 @@
+"""Result aggregation and table formatting for the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def relative(numerator: Dict[int, float], denominator: Dict[int, float]) -> Dict[int, float]:
+    """Pointwise ratio of two thread->throughput curves (as percentages)."""
+    return {
+        k: (numerator[k] / denominator[k] * 100.0 if denominator.get(k) else 0.0)
+        for k in numerator
+        if k in denominator
+    }
+
+
+def format_table(
+    title: str,
+    col_header: str,
+    columns: Sequence,
+    rows: Dict[str, Dict],
+    fmt: str = "{:>10.3f}",
+    unit: str = "",
+) -> str:
+    """Render a rows×columns table the way the paper prints its results."""
+    out: List[str] = []
+    out.append(f"== {title}{' (' + unit + ')' if unit else ''} ==")
+    header = f"{col_header:<12}" + "".join(f"{str(c):>11}" for c in columns)
+    out.append(header)
+    out.append("-" * len(header))
+    for name, series in rows.items():
+        cells = []
+        for c in columns:
+            v = series.get(c)
+            cells.append(fmt.format(v) if v is not None else " " * 9 + "--")
+        out.append(f"{name:<12}" + "".join(f"{cell:>11}" for cell in cells))
+    return "\n".join(out)
+
+
+def format_percent_row(title: str, values: Dict[str, float]) -> str:
+    header = f"{'':<10}" + "".join(f"{k:>9}" for k in values)
+    row = f"{title:<10}" + "".join(f"{v:>8.2f}%" for v in values.values())
+    return header + "\n" + row

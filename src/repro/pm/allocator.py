@@ -1,0 +1,110 @@
+"""Persistent page allocator (bitmap-based).
+
+Pages are 4 KiB; page numbers are 1-based (0 means "no page").  The bitmap
+lives in PM.  Allocation persists the set bit *before* the page is linked
+anywhere, so a crash can at worst leak pages — never double-allocate after
+recovery.  ``rebuild`` reconstructs the bitmap from the set of reachable
+pages, reclaiming such leaks, and is run by recovery/mount.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Optional, Set
+
+from repro.errors import NoSpace
+from repro.pm.device import PMDevice
+from repro.pm.layout import Geometry
+
+
+class PageAllocator:
+    """Bitmap allocator over the device's page area."""
+
+    def __init__(self, device: PMDevice, geom: Geometry):
+        self._device = device
+        self._geom = geom
+        self._lock = threading.Lock()
+        self._hint = 0
+        # DRAM shadow of the bitmap for O(1) scanning; PM stays authoritative.
+        self._bits = bytearray(device.load(geom.bitmap_off, self._bitmap_bytes()))
+
+    def _bitmap_bytes(self) -> int:
+        return (self._geom.page_count + 7) // 8
+
+    # ------------------------------------------------------------------ #
+
+    def _test(self, page_no: int) -> bool:
+        idx = page_no - 1
+        return bool(self._bits[idx >> 3] & (1 << (idx & 7)))
+
+    def _set_bit(self, page_no: int, value: bool, persist: bool = True) -> None:
+        idx = page_no - 1
+        byte_off = idx >> 3
+        if value:
+            self._bits[byte_off] |= 1 << (idx & 7)
+        else:
+            self._bits[byte_off] &= ~(1 << (idx & 7))
+        addr = self._geom.bitmap_off + byte_off
+        self._device.store(addr, bytes([self._bits[byte_off]]))
+        if persist:
+            self._device.persist(addr, 1)
+
+    # ------------------------------------------------------------------ #
+
+    def alloc(self, zero: bool = True) -> int:
+        """Allocate one page; returns its 1-based page number."""
+        with self._lock:
+            n = self._geom.page_count
+            for probe in range(n):
+                page_no = (self._hint + probe) % n + 1
+                if not self._test(page_no):
+                    self._set_bit(page_no, True)
+                    self._hint = page_no % n
+                    if zero:
+                        # Zero durably (ntstore + fence): freshly allocated
+                        # pages must not contribute stale crash states.
+                        off = self._geom.page_off(page_no)
+                        self._device.store(off, b"\0" * 4096)
+                        self._device.persist(off, 4096)
+                    return page_no
+            raise NoSpace("no free pages")
+
+    def alloc_many(self, count: int, zero: bool = True) -> list:
+        return [self.alloc(zero=zero) for _ in range(count)]
+
+    def free(self, page_no: int) -> None:
+        with self._lock:
+            if not self._test(page_no):
+                raise ValueError(f"double free of page {page_no}")
+            self._set_bit(page_no, False)
+
+    def is_allocated(self, page_no: int) -> bool:
+        with self._lock:
+            return self._test(page_no)
+
+    def free_pages(self) -> int:
+        with self._lock:
+            return self._geom.page_count - sum(bin(b).count("1") for b in self._bits)
+
+    # ------------------------------------------------------------------ #
+
+    def rebuild(self, reachable: Iterable[int]) -> int:
+        """Reset the bitmap to exactly ``reachable``; returns pages reclaimed.
+
+        Run during recovery: pages that were allocated (bit persisted) but
+        never linked into any inode before the crash are reclaimed here.
+        """
+        with self._lock:
+            before = sum(bin(b).count("1") for b in self._bits)
+            self._bits = bytearray(self._bitmap_bytes())
+            for page_no in reachable:
+                idx = page_no - 1
+                self._bits[idx >> 3] |= 1 << (idx & 7)
+            self._device.store(self._geom.bitmap_off, bytes(self._bits))
+            self._device.persist(self._geom.bitmap_off, len(self._bits))
+            after = sum(bin(b).count("1") for b in self._bits)
+            return before - after
+
+    def allocated_set(self) -> Set[int]:
+        with self._lock:
+            return {p for p in range(1, self._geom.page_count + 1) if self._test(p)}

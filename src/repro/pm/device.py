@@ -1,0 +1,364 @@
+"""The simulated persistent-memory device.
+
+The device keeps two views of every cache line:
+
+* the *volatile* view — what a running CPU observes (``load``), updated by
+  every ``store``;
+* the *media* view — what survives a crash for sure, advanced only by
+  flush + fence (or, nondeterministically, by simulated cache eviction when a
+  crash image is built).
+
+For crash-state exploration the device records, per line, the list of
+*versions* the line has held since its durability floor.  A crash may persist,
+for each line independently, any version at or after the floor (hardware may
+have evicted the line at any intermediate point).  ``sfence`` raises the floor
+of every line whose write-back was queued by a prior ``clwb``.
+
+Thread safety: a single coarse lock protects version bookkeeping.  The
+*logical* races the paper studies (§4.3–§4.6) live above this layer, in the
+file-system code, so serialising the device itself hides nothing relevant.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import PersistOrderError
+
+#: Cache-line size in bytes, as on the paper's Cascade Lake machine.
+CACHE_LINE = 64
+
+
+@dataclass
+class PMStats:
+    """Operation counters, used by tests and by the cost model calibration."""
+
+    loads: int = 0
+    stores: int = 0
+    bytes_loaded: int = 0
+    bytes_stored: int = 0
+    clwbs: int = 0
+    fences: int = 0
+    ntstores: int = 0
+
+    def snapshot(self) -> "PMStats":
+        return PMStats(
+            loads=self.loads,
+            stores=self.stores,
+            bytes_loaded=self.bytes_loaded,
+            bytes_stored=self.bytes_stored,
+            clwbs=self.clwbs,
+            fences=self.fences,
+            ntstores=self.ntstores,
+        )
+
+    def delta(self, earlier: "PMStats") -> "PMStats":
+        return PMStats(
+            loads=self.loads - earlier.loads,
+            stores=self.stores - earlier.stores,
+            bytes_loaded=self.bytes_loaded - earlier.bytes_loaded,
+            bytes_stored=self.bytes_stored - earlier.bytes_stored,
+            clwbs=self.clwbs - earlier.clwbs,
+            fences=self.fences - earlier.fences,
+            ntstores=self.ntstores - earlier.ntstores,
+        )
+
+
+@dataclass
+class _Line:
+    """Crash-tracking state of one dirty cache line.
+
+    ``versions`` holds the successive contents of the line since its
+    durability floor; ``versions[0]`` is the floor (guaranteed durable once
+    ``floor_durable`` is True — i.e. the media copy).  ``queued`` is the index
+    of the newest version whose write-back has been initiated by ``clwb`` and
+    will be made durable by the next ``sfence``.
+    """
+
+    versions: List[bytes] = field(default_factory=list)
+    queued: Optional[int] = None
+
+
+class PMDevice:
+    """Byte-addressable persistent memory with x86-like persistency semantics.
+
+    Parameters
+    ----------
+    size:
+        Device capacity in bytes (rounded up to a cache line).
+    crash_tracking:
+        When True (default), per-line version history is recorded so that
+        reachable crash states can be enumerated.  Benchmarks that never
+        crash can disable it; stores then hit media directly (functional
+        behaviour is identical, crash states are unavailable).
+    """
+
+    def __init__(self, size: int, *, crash_tracking: bool = True):
+        if size <= 0:
+            raise ValueError("device size must be positive")
+        # Round up to a whole number of lines.
+        self.size = (size + CACHE_LINE - 1) // CACHE_LINE * CACHE_LINE
+        self.media = bytearray(self.size)
+        self.crash_tracking = crash_tracking
+        self.stats = PMStats()
+        self._lines: Dict[int, _Line] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+
+    def _check_range(self, addr: int, size: int) -> None:
+        if addr < 0 or size < 0 or addr + size > self.size:
+            raise PersistOrderError(
+                f"access [{addr}, {addr + size}) outside device of {self.size} bytes"
+            )
+
+    def load(self, addr: int, size: int) -> bytes:
+        """Read ``size`` bytes of the current *volatile* view at ``addr``."""
+        self._check_range(addr, size)
+        self.stats.loads += 1
+        self.stats.bytes_loaded += size
+        if not self.crash_tracking:
+            return bytes(self.media[addr : addr + size])
+        with self._lock:
+            out = bytearray(self.media[addr : addr + size])
+            first = addr // CACHE_LINE
+            last = (addr + size - 1) // CACHE_LINE if size else first
+            for lineno in range(first, last + 1):
+                line = self._lines.get(lineno)
+                if line is None or not line.versions:
+                    continue
+                cur = line.versions[-1]
+                base = lineno * CACHE_LINE
+                lo = max(addr, base)
+                hi = min(addr + size, base + CACHE_LINE)
+                out[lo - addr : hi - addr] = cur[lo - base : hi - base]
+            return bytes(out)
+
+    def store(self, addr: int, data: bytes) -> None:
+        """CPU store: updates the volatile view only.
+
+        A store spanning multiple cache lines creates one new version per
+        affected line (so a crash may tear it at line granularity, as real
+        hardware can).  A store within a single line is recorded as one
+        version: we model stores up to 64 B as single-line atomic, which is
+        slightly stronger than the hardware's 8/16-byte guarantee; code that
+        relies on hardware atomicity uses :meth:`atomic_store`, which enforces
+        the real constraint.
+        """
+        data = bytes(data)
+        self._check_range(addr, len(data))
+        self.stats.stores += 1
+        self.stats.bytes_stored += len(data)
+        if not data:
+            return
+        if not self.crash_tracking:
+            self.media[addr : addr + len(data)] = data
+            return
+        with self._lock:
+            first = addr // CACHE_LINE
+            last = (addr + len(data) - 1) // CACHE_LINE
+            for lineno in range(first, last + 1):
+                base = lineno * CACHE_LINE
+                line = self._lines.get(lineno)
+                if line is None:
+                    line = _Line(versions=[bytes(self.media[base : base + CACHE_LINE])])
+                    self._lines[lineno] = line
+                cur = bytearray(line.versions[-1])
+                lo = max(addr, base)
+                hi = min(addr + len(data), base + CACHE_LINE)
+                cur[lo - base : hi - base] = data[lo - addr : hi - addr]
+                line.versions.append(bytes(cur))
+
+    def atomic_store(self, addr: int, data: bytes) -> None:
+        """A hardware-atomic store: 1/2/4/8/16 bytes, naturally aligned.
+
+        ArckFS's commit markers rely on such stores never being torn; the
+        constructor-time checks here keep our simulation honest about it.
+        """
+        n = len(data)
+        if n not in (1, 2, 4, 8, 16):
+            raise PersistOrderError(f"atomic store of {n} bytes is not supported")
+        if addr % n != 0:
+            raise PersistOrderError(f"atomic store at {addr} is not {n}-byte aligned")
+        self.store(addr, data)
+
+    # ------------------------------------------------------------------ #
+    # Persistence primitives
+    # ------------------------------------------------------------------ #
+
+    def clwb(self, addr: int, size: int = 1) -> None:
+        """Queue write-back of every cache line overlapping ``[addr, addr+size)``.
+
+        The *current* content of each line is what the next ``sfence``
+        guarantees durable; later stores to the same line are NOT covered.
+        """
+        self._check_range(addr, max(size, 1))
+        first = addr // CACHE_LINE
+        last = (addr + max(size, 1) - 1) // CACHE_LINE
+        self.stats.clwbs += last - first + 1
+        if not self.crash_tracking:
+            return
+        with self._lock:
+            for lineno in range(first, last + 1):
+                line = self._lines.get(lineno)
+                if line is not None and line.versions:
+                    line.queued = len(line.versions) - 1
+
+    # ``clflushopt`` has identical persistency semantics for our purposes.
+    clflushopt = clwb
+
+    def sfence(self) -> None:
+        """Complete all queued write-backs; they are durable from here on."""
+        self.stats.fences += 1
+        if not self.crash_tracking:
+            return
+        with self._lock:
+            dead = []
+            for lineno, line in self._lines.items():
+                if line.queued is None:
+                    continue
+                base = lineno * CACHE_LINE
+                durable = line.versions[line.queued]
+                self.media[base : base + CACHE_LINE] = durable
+                # Everything below the floor can no longer appear in a crash
+                # image; drop it to bound memory use.
+                line.versions = line.versions[line.queued :]
+                line.queued = None
+                if len(line.versions) == 1:
+                    dead.append(lineno)
+            for lineno in dead:
+                del self._lines[lineno]
+
+    def ntstore(self, addr: int, data: bytes) -> None:
+        """Non-temporal store: a store whose write-back is already queued.
+
+        Durability still requires a following ``sfence`` (matching movnt +
+        sfence on real hardware).
+        """
+        self.stats.ntstores += 1
+        self.store(addr, data)
+        if data:
+            self.clwb(addr, len(data))
+
+    def persist(self, addr: int, size: int) -> None:
+        """Convenience: ``clwb`` the range, then ``sfence``."""
+        self.clwb(addr, size)
+        self.sfence()
+
+    def drain(self) -> None:
+        """Flush and fence every dirty line (used at unmount / test epilogue)."""
+        if not self.crash_tracking:
+            return
+        with self._lock:
+            for lineno, line in self._lines.items():
+                if line.versions:
+                    line.queued = len(line.versions) - 1
+        self.sfence()
+
+    # ------------------------------------------------------------------ #
+    # Crash-state exploration
+    # ------------------------------------------------------------------ #
+
+    def dirty_lines(self) -> List[int]:
+        """Line numbers that currently have non-durable content."""
+        with self._lock:
+            return sorted(
+                lineno for lineno, line in self._lines.items() if len(line.versions) > 1
+            )
+
+    def line_choices(self) -> Dict[int, int]:
+        """For each dirty line, how many distinct crash outcomes it has."""
+        with self._lock:
+            return {
+                lineno: len(line.versions)
+                for lineno, line in self._lines.items()
+                if len(line.versions) > 1
+            }
+
+    def durable_image(self) -> bytes:
+        """The guaranteed-durable image (only fenced content; media copy)."""
+        with self._lock:
+            return bytes(self.media)
+
+    def volatile_image(self) -> bytes:
+        """The full volatile view (what a non-crashing remount would see)."""
+        return self.load(0, self.size)
+
+    def crash_image(self, choices: Dict[int, int]) -> bytes:
+        """Build one crash image.
+
+        ``choices`` maps line number -> version index to persist for that
+        line; lines not mentioned persist their media (floor) content.
+        Version index 0 is the floor; the largest index is the newest store.
+        """
+        with self._lock:
+            img = bytearray(self.media)
+            for lineno, idx in choices.items():
+                line = self._lines.get(lineno)
+                if line is None:
+                    continue
+                if not 0 <= idx < len(line.versions):
+                    raise PersistOrderError(
+                        f"line {lineno} has {len(line.versions)} versions; {idx} invalid"
+                    )
+                base = lineno * CACHE_LINE
+                img[base : base + CACHE_LINE] = line.versions[idx]
+            return bytes(img)
+
+    def enumerate_crash_images(self, limit: int = 4096) -> Iterator[bytes]:
+        """Yield every reachable crash image (product over dirty lines).
+
+        Raises :class:`PersistOrderError` if the state space exceeds
+        ``limit`` — a nudge to place the crash point more precisely.
+        """
+        choices = self.line_choices()
+        total = 1
+        for n in choices.values():
+            total *= n
+        if total > limit:
+            raise PersistOrderError(
+                f"{total} crash states exceed limit {limit}; "
+                f"dirty lines: {list(choices)[:16]}"
+            )
+        lines = sorted(choices)
+        counts = [choices[ln] for ln in lines]
+
+        def rec(i: int, picked: Dict[int, int]) -> Iterator[bytes]:
+            if i == len(lines):
+                yield self.crash_image(picked)
+                return
+            for v in range(counts[i]):
+                picked[lines[i]] = v
+                yield from rec(i + 1, picked)
+            del picked[lines[i]]
+
+        yield from rec(0, {})
+
+    def sample_crash_images(self, n: int, seed: int = 0) -> Iterator[bytes]:
+        """Yield ``n`` pseudo-random crash images (for large dirty sets)."""
+        import random
+
+        rng = random.Random(seed)
+        choices = self.line_choices()
+        lines = sorted(choices)
+        for _ in range(n):
+            picked = {ln: rng.randrange(choices[ln]) for ln in lines}
+            yield self.crash_image(picked)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_image(cls, image: bytes, *, crash_tracking: bool = True) -> "PMDevice":
+        """Boot a device from a crash (or durable) image — i.e. 'reboot'."""
+        dev = cls(len(image), crash_tracking=crash_tracking)
+        dev.media[:] = image
+        return dev
+
+    def __len__(self) -> int:
+        return self.size

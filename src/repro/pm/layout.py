@@ -1,0 +1,277 @@
+"""On-PM binary layouts for the ArckFS core state.
+
+The core state — the only thing the integrity verifier trusts as input — is
+made of exactly the pieces the paper lists (§2.2): a superblock, a shadow
+inode table, and 4 KiB file pages (file data pages, directory-log pages and
+file page-index pages).  Everything here is plain ``struct``-packed bytes on
+the :class:`~repro.pm.device.PMDevice`; DRAM-side index structures live in
+``repro.libfs`` and are rebuilt from these records on every acquire.
+
+Layout summary::
+
+    SUPERBLOCK   64 B at offset 0
+    INODE TABLE  ``inode_count`` records of 128 B, at ``itable_off``
+    BITMAP       1 bit per page, at ``bitmap_off``
+    PAGES        4 KiB each, at ``data_off``
+
+A *dentry* record inside a directory-log page carries its name length in the
+``name_len`` field, which doubles as the **commit marker** of the atomic
+file-creation protocol (the Trio artifact uses ``dir->name_len`` the same
+way; see paper §4.2 footnote 2).  ``name_len == 0`` means the record was
+never committed.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List
+
+PAGE_SIZE = 4096
+SB_MAGIC = 0x41524B46_532B5250  # "ARKF S+RP"
+INODE_MAGIC = 0xA5C4F51D
+INODE_SIZE = 128
+NTAILS = 4  # log tails per directory (multi-tailed log, §2.2)
+
+ITYPE_FREE = 0
+ITYPE_FILE = 1
+ITYPE_DIR = 2
+
+# --------------------------------------------------------------------------- #
+# Superblock
+# --------------------------------------------------------------------------- #
+
+_SB = struct.Struct("<QQIIQQQQ")  # magic, size, block, ninodes, itable, bitmap, data, root
+
+
+@dataclass
+class Superblock:
+    magic: int
+    device_size: int
+    block_size: int
+    inode_count: int
+    itable_off: int
+    bitmap_off: int
+    data_off: int
+    root_ino: int
+
+    SIZE = 64
+
+    def pack(self) -> bytes:
+        raw = _SB.pack(
+            self.magic,
+            self.device_size,
+            self.block_size,
+            self.inode_count,
+            self.itable_off,
+            self.bitmap_off,
+            self.data_off,
+            self.root_ino,
+        )
+        return raw.ljust(self.SIZE, b"\0")
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "Superblock":
+        fields = _SB.unpack_from(raw)
+        return cls(*fields)
+
+    @property
+    def valid(self) -> bool:
+        return self.magic == SB_MAGIC
+
+
+# --------------------------------------------------------------------------- #
+# Inode records
+# --------------------------------------------------------------------------- #
+
+#: magic u32, itype u8, pad u8, mode u16, uid u32, gen u32,
+#: size u64, nlink u32, seq u32, index_root u64, tails 4*u64
+_INODE = struct.Struct("<IBBHIIQIIQ" + "Q" * NTAILS)
+
+
+@dataclass
+class InodeRecord:
+    """The per-inode core-state record the verifier inspects.
+
+    ``gen`` is bumped whenever an inode number is reused so stale dentries
+    can be detected; ``seq`` is the dentry sequence counter used to resolve
+    duplicate dentries left by a crashed rename (newest wins).
+    """
+
+    magic: int
+    itype: int
+    mode: int
+    uid: int
+    gen: int
+    size: int
+    nlink: int
+    seq: int
+    index_root: int
+    tails: List[int]
+
+    SIZE = INODE_SIZE
+
+    def pack(self) -> bytes:
+        raw = _INODE.pack(
+            self.magic,
+            self.itype,
+            0,
+            self.mode,
+            self.uid,
+            self.gen,
+            self.size,
+            self.nlink,
+            self.seq,
+            self.index_root,
+            *self.tails,
+        )
+        return raw.ljust(self.SIZE, b"\0")
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "InodeRecord":
+        (magic, itype, _pad, mode, uid, gen, size, nlink, seq, index_root, *tails) = (
+            _INODE.unpack_from(raw)
+        )
+        return cls(magic, itype, mode, uid, gen, size, nlink, seq, index_root, list(tails))
+
+    @classmethod
+    def empty(cls) -> "InodeRecord":
+        return cls(0, ITYPE_FREE, 0, 0, 0, 0, 0, 0, 0, [0] * NTAILS)
+
+    @property
+    def valid(self) -> bool:
+        return self.magic == INODE_MAGIC and self.itype in (ITYPE_FILE, ITYPE_DIR)
+
+    @property
+    def is_dir(self) -> bool:
+        return self.itype == ITYPE_DIR
+
+
+# Field offsets within an inode record, for targeted persists.
+INODE_SIZE_OFF = struct.calcsize("<IBBHII")  # offset of the ``size`` field
+INODE_SEQ_OFF = struct.calcsize("<IBBHIIQI")  # offset of the ``seq`` field
+
+
+# --------------------------------------------------------------------------- #
+# Dentries (directory-log records)
+# --------------------------------------------------------------------------- #
+
+#: ino u64, gen u32, seq u32, rec_len u16, name_len u16, itype u8, deleted u8, pad u16
+_DENTRY = struct.Struct("<QIIHHBBH")
+DENTRY_HEADER = _DENTRY.size  # 24 bytes
+#: Offset of the ``name_len`` commit marker inside a dentry record.
+DENTRY_MARKER_OFF = struct.calcsize("<QIIH")
+#: Offset of the ``deleted`` tombstone flag.
+DENTRY_DELETED_OFF = struct.calcsize("<QIIHHB")
+MAX_NAME = 255
+
+
+@dataclass
+class Dentry:
+    ino: int
+    gen: int
+    seq: int
+    rec_len: int
+    name_len: int
+    itype: int
+    deleted: int
+    name: bytes
+
+    @staticmethod
+    def record_len(name: bytes) -> int:
+        """Total record length for ``name``, rounded to 8 bytes."""
+        return (DENTRY_HEADER + len(name) + 7) // 8 * 8
+
+    def pack(self) -> bytes:
+        raw = _DENTRY.pack(
+            self.ino,
+            self.gen,
+            self.seq,
+            self.rec_len,
+            self.name_len,
+            self.itype,
+            self.deleted,
+            0,
+        )
+        return (raw + self.name).ljust(self.rec_len, b"\0")
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "Dentry":
+        ino, gen, seq, rec_len, name_len, itype, deleted, _pad = _DENTRY.unpack_from(raw)
+        name = bytes(raw[DENTRY_HEADER : DENTRY_HEADER + name_len])
+        return cls(ino, gen, seq, rec_len, name_len, itype, deleted, name)
+
+    @property
+    def live(self) -> bool:
+        """Committed and not tombstoned."""
+        return self.name_len > 0 and self.deleted == 0
+
+
+# --------------------------------------------------------------------------- #
+# Page headers (directory-log pages and file page-index pages)
+# --------------------------------------------------------------------------- #
+
+_PAGEHDR = struct.Struct("<QHHI")  # next_page u64, used u16, kind u16, pad u32
+PAGEHDR_SIZE = 16
+PAGE_PAYLOAD = PAGE_SIZE - PAGEHDR_SIZE
+PAGE_KIND_DIRLOG = 1
+PAGE_KIND_INDEX = 2
+
+#: u64 slots available in a file page-index page.
+INDEX_SLOTS = PAGE_PAYLOAD // 8
+
+
+@dataclass
+class PageHeader:
+    next_page: int
+    used: int
+    kind: int
+
+    def pack(self) -> bytes:
+        return _PAGEHDR.pack(self.next_page, self.used, self.kind, 0)
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "PageHeader":
+        next_page, used, kind, _pad = _PAGEHDR.unpack_from(raw)
+        return cls(next_page, used, kind)
+
+
+# --------------------------------------------------------------------------- #
+# Geometry
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class Geometry:
+    """Derived offsets for a device of a given size and inode budget."""
+
+    device_size: int
+    inode_count: int
+    itable_off: int
+    bitmap_off: int
+    data_off: int
+    page_count: int
+
+    @classmethod
+    def compute(cls, device_size: int, inode_count: int) -> "Geometry":
+        itable_off = Superblock.SIZE
+        itable_bytes = inode_count * INODE_SIZE
+        bitmap_off = itable_off + itable_bytes
+        # Reserve a conservative bitmap region, then fit pages after it.
+        approx_pages = max(1, device_size // PAGE_SIZE)
+        bitmap_bytes = (approx_pages + 7) // 8
+        data_off = bitmap_off + bitmap_bytes
+        data_off = (data_off + PAGE_SIZE - 1) // PAGE_SIZE * PAGE_SIZE
+        page_count = max(0, (device_size - data_off) // PAGE_SIZE)
+        return cls(device_size, inode_count, itable_off, bitmap_off, data_off, page_count)
+
+    def inode_off(self, ino: int) -> int:
+        if not 0 <= ino < self.inode_count:
+            raise ValueError(f"inode {ino} out of range")
+        return self.itable_off + ino * INODE_SIZE
+
+    def page_off(self, page_no: int) -> int:
+        if not 1 <= page_no <= self.page_count:
+            raise ValueError(f"page {page_no} out of range")
+        # Page numbers are 1-based so that 0 can mean "no page".
+        return self.data_off + (page_no - 1) * PAGE_SIZE

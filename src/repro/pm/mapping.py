@@ -1,0 +1,80 @@
+"""Revocable mappings of PM into a LibFS's address space.
+
+In Trio the kernel controller *maps* an inode's core state into the
+application on acquire and *unmaps* it on release (or forcefully, on an
+involuntary release).  After an unmap, a real process touching the old
+addresses takes SIGBUS — which is exactly the crash the paper's §4.3 bug
+produces when one thread voluntarily releases an inode while another thread
+is still writing through the mapping.
+
+:class:`Mapping` models that capability: every access checks a validity flag
+and raises :class:`~repro.errors.SimulatedBusError` once unmapped.  We do not
+model page-granular MMU permissions; metadata *integrity* in Trio is enforced
+by the verifier, not by the MMU, and the bug only needs the revocation
+semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SimulatedBusError
+from repro.pm.device import PMDevice
+
+
+class Mapping:
+    """A revocable window onto the PM device (one per acquired inode)."""
+
+    def __init__(self, device: PMDevice, ino: int, tag: str = ""):
+        self._device = device
+        self.ino = ino
+        self.tag = tag
+        self._valid = True
+
+    @property
+    def valid(self) -> bool:
+        return self._valid
+
+    def unmap(self) -> None:
+        """Revoke the mapping; any later access raises SimulatedBusError."""
+        self._valid = False
+
+    def _check(self) -> None:
+        if not self._valid:
+            raise SimulatedBusError(
+                f"access through unmapped inode {self.ino} mapping {self.tag!r}"
+            )
+
+    # Pass-through accessors (all fault once unmapped). ------------------- #
+
+    def load(self, addr: int, size: int) -> bytes:
+        self._check()
+        return self._device.load(addr, size)
+
+    def store(self, addr: int, data: bytes) -> None:
+        self._check()
+        self._device.store(addr, data)
+
+    def atomic_store(self, addr: int, data: bytes) -> None:
+        self._check()
+        self._device.atomic_store(addr, data)
+
+    def ntstore(self, addr: int, data: bytes) -> None:
+        self._check()
+        self._device.ntstore(addr, data)
+
+    def clwb(self, addr: int, size: int = 1) -> None:
+        self._check()
+        self._device.clwb(addr, size)
+
+    def sfence(self) -> None:
+        self._check()
+        self._device.sfence()
+
+    def persist(self, addr: int, size: int) -> None:
+        self._check()
+        self._device.persist(addr, size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "valid" if self._valid else "UNMAPPED"
+        return f"<Mapping ino={self.ino} {state}>"

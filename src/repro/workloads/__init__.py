@@ -1,0 +1,25 @@
+"""Workloads of the paper's evaluation (§5).
+
+Each workload exists in two forms:
+
+* a **simulation form** — ``op_ctx(tid, i, nthreads)`` produces the
+  symbolic operation stream consumed by :mod:`repro.perf` to regenerate
+  the figures' throughput curves;
+* a **functional form** — drives a real :class:`~repro.basefs.base.FileSystem`
+  instance (including the ArckFS LibFS), used by tests and by the
+  pytest-benchmark microbenchmarks to validate that the simulated operation
+  mix matches what the real code path does.
+"""
+
+from repro.workloads.fxmark import FXMARK, FxMark
+from repro.workloads.fio import FIO_WORKLOADS, FioWorkload
+from repro.workloads.microbench import METADATA_OPS, MicrobenchOp
+
+__all__ = [
+    "FXMARK",
+    "FxMark",
+    "FIO_WORKLOADS",
+    "FioWorkload",
+    "METADATA_OPS",
+    "MicrobenchOp",
+]

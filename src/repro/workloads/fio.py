@@ -1,0 +1,54 @@
+"""fio-like data workloads (§5.1 data performance, §5.2 data scalability).
+
+Four classic patterns at 4 KiB block size: sequential/random × read/write,
+each thread on its own file (fio's default job layout in the Trio
+artifact).  The simulation form stresses PM bandwidth and NUMA; the
+functional form drives a real FileSystem.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.basefs.base import FileSystem
+
+BLOCK = 4096
+FILE_BLOCKS = 64  # functional file size: 256 KiB
+
+
+def _h(tid: int, i: int) -> int:
+    return zlib.crc32(f"fio{tid}:{i}".encode())
+
+
+@dataclass(frozen=True)
+class FioWorkload:
+    name: str
+    op: str  # "read" | "write"
+    random: bool
+
+    def op_ctx(self, tid: int, i: int, nthreads: int) -> Dict:
+        return {"op": self.op, "size": BLOCK, "extend": False}
+
+    # -- functional form -------------------------------------------------- #
+
+    def prepare(self, fs: FileSystem, nthreads: int) -> None:
+        for tid in range(nthreads):
+            fs.write_file(f"/fio{tid}", b"\0" * (FILE_BLOCKS * BLOCK))
+
+    def functional(self, fs: FileSystem, fd: int, tid: int, i: int) -> None:
+        block = (_h(tid, i) if self.random else i) % FILE_BLOCKS
+        off = block * BLOCK
+        if self.op == "write":
+            fs.pwrite(fd, b"w" * BLOCK, off)
+        else:
+            fs.pread(fd, BLOCK, off)
+
+
+FIO_WORKLOADS: Dict[str, FioWorkload] = {
+    "seq-read": FioWorkload("seq-read", "read", random=False),
+    "seq-write": FioWorkload("seq-write", "write", random=False),
+    "rand-read": FioWorkload("rand-read", "read", random=True),
+    "rand-write": FioWorkload("rand-write", "write", random=True),
+}

@@ -1,0 +1,386 @@
+"""FxMark metadata workloads (paper Table 3).
+
+=========== =====================================================
+DWTL        Reduce the size of a private file by 4 KiB.
+MRP(L/M/H)  Open a (private / random / same) file in 5-deep dirs.
+MRD(L/M)    Enumerate files of a (private / shared) directory.
+MWC(L/M)    Create an empty file in a (private / shared) dir.
+MWU(L/M)    Unlink an empty file in a (private / shared) dir.
+MWRL        Rename a private file in a private dir.
+MWRM        Move a private file to a shared dir.
+=========== =====================================================
+
+Matching the Trio artifact's variant (paper §5.2): parallel execution uses
+*threads* (not processes) of one LibFS, and MWCM performs only the inode
+creation (no write).  L = low sharing (private per-thread), M = medium
+(shared directory), H = high (one shared file).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.basefs.base import FileSystem
+
+#: files preloaded per thread for unlink/rename/read workloads.
+FILES_PER_THREAD = 64
+#: entries in each enumerated directory (MRD*).
+DIR_ENTRIES = 16
+#: hash buckets assumed by the simulated bucket-index mapping.
+NBUCKETS = 256
+NTAILS = 32
+
+
+def _h(tid: int, i: int) -> int:
+    """Deterministic pseudo-random stream (stable across runs)."""
+    return zlib.crc32(f"{tid}:{i}".encode())
+
+
+@dataclass(frozen=True)
+class FxMark:
+    """One FxMark workload, usable by both the DES and functional drivers."""
+
+    name: str
+    description: str
+    op_ctx: Callable[[int, int, int], Dict]
+    #: functional driver: (fs, tid, i) -> None, after ``prepare``.
+    functional: Callable[[FileSystem, int, int], None]
+    prepare: Callable[[FileSystem, int], None]
+    is_data: bool = False
+
+
+# --------------------------------------------------------------------------- #
+# Context builders (simulation form)
+# --------------------------------------------------------------------------- #
+
+
+def _dwtl_ctx(tid, i, n):
+    return {"op": "truncate", "dir": f"p{tid}", "depth": 1, "file": tid}
+
+
+def _mrp_ctx(kind):
+    def ctx(tid, i, n):
+        out = {"op": "open", "depth": 5}
+        if kind == "L":
+            out["dir"] = f"p{tid}"
+        elif kind == "M":
+            out["dir"] = "shared"
+        else:  # H: everyone opens the same file
+            out["dir"] = "shared"
+            out["hot"] = 0
+        return out
+
+    return ctx
+
+
+def _mrd_ctx(kind):
+    def ctx(tid, i, n):
+        # The shared directory holds every thread's files, so it grows
+        # with the thread count (FxMark populates per-thread filesets).
+        entries = DIR_ENTRIES if kind == "L" else DIR_ENTRIES * n
+        return {
+            "op": "readdir",
+            "dir": f"p{tid}" if kind == "L" else "shared",
+            "depth": 1,
+            "entries": entries,
+        }
+
+    return ctx
+
+
+def _mwc_ctx(kind):
+    def ctx(tid, i, n):
+        shared = kind == "M"
+        return {
+            "op": "create",
+            "dir": "shared" if shared else f"p{tid}",
+            "depth": 1,
+            "bucket": _h(tid, i) % NBUCKETS,
+            "tail": tid % NTAILS,
+            "shared": shared,
+        }
+
+    return ctx
+
+
+def _mwu_ctx(kind):
+    def ctx(tid, i, n):
+        shared = kind == "M"
+        return {
+            "op": "unlink",
+            "dir": "shared" if shared else f"p{tid}",
+            "depth": 1,
+            "bucket": _h(tid, i) % NBUCKETS,
+            "shared": shared,
+        }
+
+    return ctx
+
+
+def _mwrl_ctx(tid, i, n):
+    return {
+        "op": "rename",
+        "dir": f"p{tid}",
+        "dir2": f"p{tid}",
+        "depth": 1,
+        "bucket": _h(tid, i) % NBUCKETS,
+        "bucket2": _h(tid, i + 1) % NBUCKETS,
+        "cross": False,
+        "is_dir": False,
+    }
+
+
+def _mwrm_ctx(tid, i, n):
+    return {
+        "op": "rename",
+        "dir": f"p{tid}",
+        "dir2": "shared",
+        "depth": 1,
+        "bucket": _h(tid, i) % NBUCKETS,
+        "bucket2": _h(tid, i + 1) % NBUCKETS,
+        "cross": True,
+        "is_dir": False,
+        "shared": True,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Functional drivers
+# --------------------------------------------------------------------------- #
+
+
+def _prepare_private_dirs(fs: FileSystem, nthreads: int) -> None:
+    for tid in range(nthreads):
+        fs.makedirs(f"/p{tid}")
+
+
+def _prepare_dwtl(fs: FileSystem, nthreads: int) -> None:
+    _prepare_private_dirs(fs, nthreads)
+    for tid in range(nthreads):
+        fs.write_file(f"/p{tid}/big", b"\0" * (FILES_PER_THREAD * 4096))
+
+
+def _dwtl_run(fs: FileSystem, tid: int, i: int) -> None:
+    size = fs.stat(f"/p{tid}/big").size
+    fs.truncate(f"/p{tid}/big", max(0, size - 4096))
+
+
+def _prepare_deep(fs: FileSystem, nthreads: int) -> None:
+    fs.makedirs("/s/a/b/c/d")
+    fs.write_file("/s/a/b/c/d/hot", b"x")
+    for j in range(4):
+        fs.write_file(f"/s/a/b/c/d/r{j}", b"x")  # MRPM's random pool
+    for tid in range(nthreads):
+        fs.makedirs(f"/p{tid}/a/b/c/d")
+        for j in range(8):
+            fs.write_file(f"/p{tid}/a/b/c/d/f{j}", b"x")
+
+
+def _mrp_run(kind):
+    def run(fs: FileSystem, tid: int, i: int) -> None:
+        if kind == "L":
+            path = f"/p{tid}/a/b/c/d/f{i % 8}"
+        elif kind == "M":
+            path = f"/s/a/b/c/d/r{_h(tid, i) % 4}"  # random shared file
+        else:
+            path = "/s/a/b/c/d/hot"
+        fs.close(fs.open(path))
+
+    return run
+
+
+def _prepare_mrd(fs: FileSystem, nthreads: int) -> None:
+    _prepare_private_dirs(fs, nthreads)
+    fs.makedirs("/shared")
+    for tid in range(nthreads):
+        for j in range(DIR_ENTRIES):
+            fs.write_file(f"/p{tid}/e{j}", b"")
+    for j in range(DIR_ENTRIES):
+        fs.write_file(f"/shared/e{j}", b"")
+
+
+def _mrd_run(kind):
+    def run(fs: FileSystem, tid: int, i: int) -> None:
+        fs.readdir(f"/p{tid}" if kind == "L" else "/shared")
+
+    return run
+
+
+def _prepare_shared_and_private(fs: FileSystem, nthreads: int) -> None:
+    _prepare_private_dirs(fs, nthreads)
+    if not fs.exists("/shared"):
+        fs.makedirs("/shared")
+
+
+def _mwc_run(kind):
+    def run(fs: FileSystem, tid: int, i: int) -> None:
+        base = "/shared" if kind == "M" else f"/p{tid}"
+        fs.close(fs.creat(f"{base}/n{tid}_{i}"))
+
+    return run
+
+
+def _prepare_mwu(kind):
+    def prepare(fs: FileSystem, nthreads: int) -> None:
+        _prepare_shared_and_private(fs, nthreads)
+        base = "/shared" if kind == "M" else None
+        for tid in range(nthreads):
+            for j in range(FILES_PER_THREAD):
+                d = base or f"/p{tid}"
+                fs.close(fs.creat(f"{d}/u{tid}_{j}"))
+
+    return prepare
+
+
+def _mwu_run(kind):
+    def run(fs: FileSystem, tid: int, i: int) -> None:
+        d = "/shared" if kind == "M" else f"/p{tid}"
+        fs.unlink(f"{d}/u{tid}_{i % FILES_PER_THREAD}")
+
+    return run
+
+
+def _prepare_mwr(fs: FileSystem, nthreads: int) -> None:
+    _prepare_shared_and_private(fs, nthreads)
+    for tid in range(nthreads):
+        for j in range(FILES_PER_THREAD):
+            fs.close(fs.creat(f"/p{tid}/r{tid}_{j}"))
+
+
+def _mwrl_run(fs: FileSystem, tid: int, i: int) -> None:
+    j = i % FILES_PER_THREAD
+    src = f"/p{tid}/r{tid}_{j}" if i // FILES_PER_THREAD % 2 == 0 else f"/p{tid}/R{tid}_{j}"
+    dst = f"/p{tid}/R{tid}_{j}" if i // FILES_PER_THREAD % 2 == 0 else f"/p{tid}/r{tid}_{j}"
+    fs.rename(src, dst)
+
+
+def _mwrm_run(fs: FileSystem, tid: int, i: int) -> None:
+    j = i % FILES_PER_THREAD
+    src = f"/p{tid}/r{tid}_{j}"
+    if not fs.exists(src):
+        fs.close(fs.creat(src))
+    fs.rename(src, f"/shared/m{tid}_{i}")
+
+
+# --------------------------------------------------------------------------- #
+# The workload table
+# --------------------------------------------------------------------------- #
+
+FXMARK: Dict[str, FxMark] = {
+    "DWTL": FxMark("DWTL", "Reduce the size of a private file by 4K.",
+                   _dwtl_ctx, _dwtl_run, _prepare_dwtl, is_data=True),
+    "MRPL": FxMark("MRPL", "Open a private file in five-depth dirs.",
+                   _mrp_ctx("L"), _mrp_run("L"), _prepare_deep),
+    "MRPM": FxMark("MRPM", "Open a random shared file in five-depth dirs.",
+                   _mrp_ctx("M"), _mrp_run("M"), _prepare_deep),
+    "MRPH": FxMark("MRPH", "Open the same shared file in five-depth dirs.",
+                   _mrp_ctx("H"), _mrp_run("H"), _prepare_deep),
+    "MRDL": FxMark("MRDL", "Enumerate files of a private directory.",
+                   _mrd_ctx("L"), _mrd_run("L"), _prepare_mrd),
+    "MRDM": FxMark("MRDM", "Enumerate files of a shared directory.",
+                   _mrd_ctx("M"), _mrd_run("M"), _prepare_mrd),
+    "MWCL": FxMark("MWCL", "Create an empty file in a private dir.",
+                   _mwc_ctx("L"), _mwc_run("L"), _prepare_shared_and_private),
+    "MWCM": FxMark("MWCM", "Create an empty file in a shared dir (no write).",
+                   _mwc_ctx("M"), _mwc_run("M"), _prepare_shared_and_private),
+    "MWUL": FxMark("MWUL", "Unlink an empty file in a private dir.",
+                   _mwu_ctx("L"), _mwu_run("L"), _prepare_mwu("L")),
+    "MWUM": FxMark("MWUM", "Unlink an empty file in a shared dir.",
+                   _mwu_ctx("M"), _mwu_run("M"), _prepare_mwu("M")),
+    "MWRL": FxMark("MWRL", "Rename a private file in a private dir.",
+                   _mwrl_ctx, _mwrl_run, _prepare_mwr),
+    "MWRM": FxMark("MWRM", "Move a private file to a shared dir.",
+                   _mwrm_ctx, _mwrm_run, _prepare_mwr),
+}
+
+#: the metadata subset reported in Figure 4 / Table 2.
+METADATA_WORKLOADS: List[str] = [
+    "DWTL", "MRPL", "MRPM", "MRPH", "MRDL", "MRDM",
+    "MWCL", "MWCM", "MWUL", "MWUM", "MWRL", "MWRM",
+]
+
+
+# --------------------------------------------------------------------------- #
+# FxMark data operations (§5.2: "In both FxMark data operations and fio,
+# ArckFS outperforms other file systems by leveraging direct access and
+# I/O delegation").
+# --------------------------------------------------------------------------- #
+
+
+def _data_ctx(op, shared):
+    def ctx(tid, i, n):
+        return {"op": op, "size": 4096, "dir": "shared" if shared else f"p{tid}"}
+
+    return ctx
+
+
+def _prepare_data(fs: FileSystem, nthreads: int) -> None:
+    _prepare_private_dirs(fs, nthreads)
+    fs.makedirs("/shared")
+    fs.write_file("/shared/blk", b"\0" * (FILES_PER_THREAD * 4096))
+    for tid in range(nthreads):
+        fs.write_file(f"/p{tid}/blk", b"\0" * (FILES_PER_THREAD * 4096))
+
+
+def _data_run(op, shared):
+    def run(fs: FileSystem, tid: int, i: int) -> None:
+        path = "/shared/blk" if shared else f"/p{tid}/blk"
+        fd = fs.open(path)
+        try:
+            off = (_h(tid, i) % FILES_PER_THREAD) * 4096
+            if op == "read":
+                fs.pread(fd, 4096, off)
+            else:
+                fs.pwrite(fd, b"w" * 4096, off)
+        finally:
+            fs.close(fd)
+
+    return run
+
+
+#: data-operation workloads (FxMark's DRBL/DRBM/DWOL family).
+DATA_WORKLOADS: Dict[str, FxMark] = {
+    "DRBL": FxMark("DRBL", "Read a 4K block of a private file.",
+                   _data_ctx("read", False), _data_run("read", False),
+                   _prepare_data, is_data=True),
+    "DRBM": FxMark("DRBM", "Read a 4K block of a shared file.",
+                   _data_ctx("read", True), _data_run("read", True),
+                   _prepare_data, is_data=True),
+    "DWOL": FxMark("DWOL", "Overwrite a 4K block of a private file.",
+                   _data_ctx("write", False), _data_run("write", False),
+                   _prepare_data, is_data=True),
+}
+
+
+def run_functional(workload: FxMark, fs: FileSystem, nthreads: int = 1,
+                   ops_per_thread: int = 32) -> int:
+    """Execute the workload for real; returns total operations performed."""
+    workload.prepare(fs, nthreads)
+    total = 0
+    if nthreads == 1:
+        for i in range(ops_per_thread):
+            workload.functional(fs, 0, i)
+            total += 1
+        return total
+    import threading
+
+    errors: List[BaseException] = []
+
+    def worker(tid: int) -> None:
+        nonlocal total
+        try:
+            for i in range(ops_per_thread):
+                workload.functional(fs, tid, i)
+        except BaseException as exc:  # noqa: BLE001 - surfaced to caller
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(tid,)) for tid in range(nthreads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+    return nthreads * ops_per_thread

@@ -1,0 +1,143 @@
+"""LevelDB benchmark (dbbench-style) for §5.3.
+
+Workloads follow LevelDB's ``db_bench``: fillseq, fillrandom, readrandom,
+readseq, deleterandom.  Two uses:
+
+* **functional** — run the real LSM store (:mod:`repro.kv`) on any
+  FileSystem and collect the file-system op mix it generated, verifying
+  the paper's premise that LevelDB is *data-dominated* (bytes moved via
+  pread/pwrite dwarf namespace operations);
+* **simulation** — feed the measured op mix to the DES to compare the nine
+  systems, where the ArckFS family's identical data path makes
+  ArckFS+ ≈ ArckFS (the §5.3 claim).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.basefs.base import FileSystem
+from repro.kv.db import DB
+from repro.kv.options import Options
+
+VALUE_SIZE = 100  # dbbench default
+KEY_SPACE = 10_000
+
+
+def _key(i: int) -> bytes:
+    return b"%016d" % i
+
+
+def _rand(i: int) -> int:
+    return zlib.crc32(f"k{i}".encode()) % KEY_SPACE
+
+
+@dataclass
+class DbBenchResult:
+    workload: str
+    ops: int
+    reads: int
+    writes: int
+    bytes_read: int
+    bytes_written: int
+    namespace_ops: int
+
+    @property
+    def data_dominance(self) -> float:
+        """Fraction of FS operations that are data ops (the paper's
+        'dominated by data operations')."""
+        data = self.reads + self.writes
+        total = data + self.namespace_ops
+        return data / total if total else 0.0
+
+
+def _fs_op_counters(fs: FileSystem) -> Tuple[int, int, int, int, int]:
+    """(reads, writes, bytes_read, bytes_written, namespace_ops) so far."""
+    stats = getattr(fs, "stats", None)
+    if stats is None:
+        return (0, 0, 0, 0, 0)
+    namespace = (
+        getattr(stats, "creates", 0)
+        + getattr(stats, "unlinks", 0)
+        + getattr(stats, "mkdirs", 0)
+        + getattr(stats, "renames", 0)
+        + getattr(stats, "opens", 0)
+    )
+    return (
+        getattr(stats, "reads", 0),
+        getattr(stats, "writes", 0),
+        getattr(stats, "bytes_read", 0),
+        getattr(stats, "bytes_written", 0),
+        namespace,
+    )
+
+
+def run_dbbench(fs: FileSystem, workload: str, n: int = 500,
+                options: Optional[Options] = None) -> DbBenchResult:
+    """Run one dbbench workload functionally on ``fs``."""
+    db = DB(fs, "/dbbench", options or Options())
+    r0 = _fs_op_counters(fs)
+    if workload == "fillseq":
+        for i in range(n):
+            db.put(_key(i), b"v" * VALUE_SIZE)
+    elif workload == "fillrandom":
+        for i in range(n):
+            db.put(_key(_rand(i)), b"v" * VALUE_SIZE)
+    elif workload == "readrandom":
+        for i in range(n):
+            db.put(_key(i), b"v" * VALUE_SIZE)
+        for i in range(n):
+            db.get(_key(_rand(i) % n))
+    elif workload == "readseq":
+        for i in range(n):
+            db.put(_key(i), b"v" * VALUE_SIZE)
+        for _ in db.scan():
+            pass
+    elif workload == "deleterandom":
+        for i in range(n):
+            db.put(_key(i), b"v" * VALUE_SIZE)
+        for i in range(n):
+            db.delete(_key(_rand(i) % n))
+    else:
+        raise ValueError(f"unknown dbbench workload {workload!r}")
+    db.close()
+    r1 = _fs_op_counters(fs)
+    return DbBenchResult(
+        workload=workload,
+        ops=n,
+        reads=r1[0] - r0[0],
+        writes=r1[1] - r0[1],
+        bytes_read=r1[2] - r0[2],
+        bytes_written=r1[3] - r0[3],
+        namespace_ops=r1[4] - r0[4],
+    )
+
+
+@dataclass(frozen=True)
+class DbBenchSim:
+    """DES form: the op mix a dbbench run generates, per iteration."""
+
+    name: str
+    #: (op, size, weight) mix per logical KV operation.
+    mix: Tuple[Tuple[str, int, int], ...]
+
+    def op_ctx(self, tid: int, i: int, nthreads: int) -> Dict:
+        flat: List[Tuple[str, int]] = []
+        for op, size, weight in self.mix:
+            flat.extend([(op, size)] * weight)
+        op, size = flat[i % len(flat)]
+        if op in ("read", "write"):
+            return {"op": op, "size": size}
+        return {"op": op, "dir": f"db{tid}", "depth": 1, "bucket": i % 256,
+                "tail": tid % 32}
+
+
+#: mixes derived from functional runs (see tests): overwhelmingly data ops.
+DBBENCH_SIMS = {
+    "fillrandom": DbBenchSim("fillrandom",
+                             (("write", 160, 24), ("create", 0, 1))),
+    "readrandom": DbBenchSim("readrandom",
+                             (("read", 4096, 24), ("open", 0, 1))),
+}

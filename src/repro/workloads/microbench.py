@@ -1,0 +1,84 @@
+"""Figure 3's single-thread metadata microbenchmarks.
+
+Common metadata operations at one thread: create, open, delete (unlink),
+rename, stat, plus 4 KiB read/write for the data point (§5.1: the data
+path is unaffected by the patches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.basefs.base import FileSystem
+
+
+@dataclass(frozen=True)
+class MicrobenchOp:
+    name: str
+    op_ctx: Callable[[int, int, int], Dict]
+    prepare: Callable[[FileSystem, int], None]
+    functional: Callable[[FileSystem, int, int], None]
+
+
+def _noop_prepare(fs: FileSystem, nthreads: int) -> None:
+    if not fs.exists("/m"):
+        fs.mkdir("/m")
+
+
+def _prepare_files(fs: FileSystem, nthreads: int) -> None:
+    _noop_prepare(fs, nthreads)
+    fs.makedirs("/m/a/b/c/d")
+    for i in range(256):
+        fs.write_file(f"/m/a/b/c/d/f{i}", b"x")
+
+
+METADATA_OPS: Dict[str, MicrobenchOp] = {
+    "create": MicrobenchOp(
+        "create",
+        lambda tid, i, n: {"op": "create", "dir": "m", "depth": 1,
+                           "bucket": i % 64, "tail": tid % 4},
+        _noop_prepare,
+        lambda fs, tid, i: fs.close(fs.creat(f"/m/c{tid}_{i}")),
+    ),
+    "open": MicrobenchOp(
+        "open",
+        lambda tid, i, n: {"op": "open", "dir": "m", "depth": 5},
+        _prepare_files,
+        lambda fs, tid, i: fs.close(fs.open(f"/m/a/b/c/d/f{i % 256}")),
+    ),
+    "delete": MicrobenchOp(
+        "delete",
+        lambda tid, i, n: {"op": "unlink", "dir": "m", "depth": 2,
+                           "bucket": i % 64},
+        _prepare_files,
+        lambda fs, tid, i: fs.unlink(f"/m/a/b/c/d/f{i % 256}"),
+    ),
+    "rename": MicrobenchOp(
+        "rename",
+        lambda tid, i, n: {"op": "rename", "dir": "m", "dir2": "m", "depth": 1,
+                           "bucket": i % 64, "bucket2": (i + 1) % 64,
+                           "cross": False, "is_dir": False},
+        _prepare_files,
+        lambda fs, tid, i: fs.rename(f"/m/a/b/c/d/f{i % 256}",
+                                     f"/m/a/b/c/d/g{i % 256}"),
+    ),
+    "stat": MicrobenchOp(
+        "stat",
+        lambda tid, i, n: {"op": "stat", "dir": "m", "depth": 5},
+        _prepare_files,
+        lambda fs, tid, i: fs.stat(f"/m/a/b/c/d/f{i % 256}"),
+    ),
+    "read-4k": MicrobenchOp(
+        "read-4k",
+        lambda tid, i, n: {"op": "read", "size": 4096},
+        lambda fs, n: fs.write_file("/m-data", b"\0" * (64 * 4096)),
+        lambda fs, tid, i: None,  # functional data ops live in fio
+    ),
+    "write-4k": MicrobenchOp(
+        "write-4k",
+        lambda tid, i, n: {"op": "write", "size": 4096},
+        lambda fs, n: None,
+        lambda fs, tid, i: None,
+    ),
+}

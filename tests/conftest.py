@@ -1,0 +1,41 @@
+"""Shared fixtures: failpoint hygiene and common FS factories."""
+
+import pytest
+
+from repro.concurrency.failpoints import failpoints
+from repro.core.config import ARCKFS, ARCKFS_PLUS
+from repro.kernel.controller import KernelController
+from repro.libfs.libfs import LibFS
+from repro.pm.device import PMDevice
+
+
+@pytest.fixture(autouse=True)
+def clean_failpoints():
+    """Failpoints are process-global; never leak hooks between tests."""
+    failpoints.clear()
+    yield
+    failpoints.clear()
+
+
+def build_fs(config=ARCKFS_PLUS, size=16 * 1024 * 1024, inode_count=256, uid=1000):
+    device = PMDevice(size)
+    kernel = KernelController.fresh(device, inode_count=inode_count, config=config)
+    fs = LibFS(kernel, "app1", uid=uid, config=config)
+    return device, kernel, fs
+
+
+@pytest.fixture
+def fsx():
+    """(device, kernel, fs) triple under full ArckFS+."""
+    return build_fs(ARCKFS_PLUS)
+
+
+@pytest.fixture
+def fs(fsx):
+    return fsx[2]
+
+
+@pytest.fixture
+def buggy_fsx():
+    """(device, kernel, fs) triple under unpatched ArckFS."""
+    return build_fs(ARCKFS)

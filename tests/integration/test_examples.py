@@ -1,0 +1,40 @@
+"""Every shipped example must run clean end-to-end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = ["quickstart.py", "bughunt.py", "kvstore_demo.py",
+            "sharing_demo.py", "webproxy_demo.py"]
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()
+
+
+def test_quickstart_output_mentions_recovery():
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "quickstart.py")],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert "recovery report" in result.stdout
+    assert "recovered content" in result.stdout
+
+
+def test_bughunt_shows_table1_dichotomy():
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "bughunt.py")],
+        capture_output=True, text=True, timeout=300,
+    )
+    out = result.stdout
+    assert out.count("MANIFESTED") >= 7  # six under arckfs + isolation demo
+    assert out.count("not observed") >= 6  # none under arckfs+

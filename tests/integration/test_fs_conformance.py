@@ -1,0 +1,203 @@
+"""One behavioural battery, every file system.
+
+Workloads and the KV store run against the common FileSystem interface, so
+every implementation — the seven baselines and both ArckFS variants — must
+agree on this behavioural core.
+"""
+
+import pytest
+
+from repro.basefs import make_baseline
+from repro.core.config import ARCKFS, ARCKFS_PLUS
+from repro.errors import Exists, IsADir, NoEntry, NotADir, NotEmpty
+from repro.kernel.controller import KernelController
+from repro.libfs.libfs import LibFS
+from repro.pm.device import PMDevice
+
+BASELINES = ["ext4", "pmfs", "winefs", "nova", "odinfs", "splitfs", "strata"]
+ALL = BASELINES + ["arckfs", "arckfs+"]
+
+
+def make_fs(name: str):
+    if name in ("arckfs", "arckfs+"):
+        config = ARCKFS_PLUS if name == "arckfs+" else ARCKFS
+        device = PMDevice(32 * 1024 * 1024, crash_tracking=False)
+        kernel = KernelController.fresh(device, inode_count=512, config=config)
+        return LibFS(kernel, "app", uid=0, config=config)
+    return make_baseline(name, PMDevice(32 * 1024 * 1024, crash_tracking=False))
+
+
+@pytest.fixture(params=ALL)
+def anyfs(request):
+    return make_fs(request.param)
+
+
+class TestConformance:
+    def test_write_read_roundtrip(self, anyfs):
+        fd = anyfs.creat("/f")
+        payload = bytes(i % 256 for i in range(10000))
+        assert anyfs.pwrite(fd, payload, 0) == len(payload)
+        assert anyfs.pread(fd, len(payload), 0) == payload
+        anyfs.close(fd)
+
+    def test_overwrite_and_size(self, anyfs):
+        fd = anyfs.creat("/f")
+        anyfs.pwrite(fd, b"aaaa", 0)
+        anyfs.pwrite(fd, b"BB", 1)
+        assert anyfs.pread(fd, 10, 0) == b"aBBa"
+        assert anyfs.stat("/f").size == 4
+        anyfs.close(fd)
+
+    def test_namespace_ops(self, anyfs):
+        anyfs.mkdir("/d")
+        anyfs.mkdir("/d/e")
+        anyfs.close(anyfs.creat("/d/f1"))
+        anyfs.close(anyfs.creat("/d/f2"))
+        assert anyfs.readdir("/d") == ["e", "f1", "f2"]
+        anyfs.unlink("/d/f1")
+        assert anyfs.readdir("/d") == ["e", "f2"]
+        anyfs.rmdir("/d/e")
+        assert anyfs.readdir("/d") == ["f2"]
+
+    def test_errors(self, anyfs):
+        with pytest.raises(NoEntry):
+            anyfs.open("/missing")
+        anyfs.close(anyfs.creat("/f"))
+        with pytest.raises(Exists):
+            anyfs.creat("/f")
+        with pytest.raises(NotADir):
+            anyfs.stat("/f/sub")
+        anyfs.mkdir("/d")
+        with pytest.raises(IsADir):
+            anyfs.unlink("/d")
+        anyfs.close(anyfs.creat("/d/x"))
+        with pytest.raises(NotEmpty):
+            anyfs.rmdir("/d")
+
+    def test_rename_file(self, anyfs):
+        anyfs.write_file("/a", b"data")
+        anyfs.mkdir("/d")
+        anyfs.rename("/a", "/d/b")
+        assert not anyfs.exists("/a")
+        assert anyfs.read_file("/d/b") == b"data"
+
+    def test_rename_directory(self, anyfs):
+        anyfs.mkdir("/src")
+        anyfs.mkdir("/src/sub")
+        anyfs.close(anyfs.creat("/src/sub/f"))
+        anyfs.mkdir("/dst")
+        anyfs.rename("/src/sub", "/dst/sub")
+        assert anyfs.readdir("/dst/sub") == ["f"]
+        assert anyfs.readdir("/src") == []
+
+    def test_truncate(self, anyfs):
+        anyfs.write_file("/f", b"x" * 9000)
+        anyfs.truncate("/f", 4096)
+        assert anyfs.stat("/f").size == 4096
+        assert anyfs.read_file("/f") == b"x" * 4096
+
+    def test_fsync_then_visible(self, anyfs):
+        fd = anyfs.open("/f", create=True)
+        anyfs.pwrite(fd, b"persisted", 0)
+        anyfs.fsync(fd)
+        anyfs.close(fd)
+        assert anyfs.read_file("/f") == b"persisted"
+
+    def test_many_files(self, anyfs):
+        anyfs.mkdir("/many")
+        for i in range(64):
+            anyfs.write_file(f"/many/f{i:02d}", bytes([i]))
+        assert len(anyfs.readdir("/many")) == 64
+        for i in range(0, 64, 2):
+            anyfs.unlink(f"/many/f{i:02d}")
+        assert len(anyfs.readdir("/many")) == 32
+        assert anyfs.read_file("/many/f33") == bytes([33])
+
+    def test_deep_paths(self, anyfs):
+        anyfs.makedirs("/a/b/c/d/e")
+        anyfs.write_file("/a/b/c/d/e/leaf", b"deep")
+        assert anyfs.read_file("/a/b/c/d/e/leaf") == b"deep"
+        assert anyfs.stat("/a/b/c").is_dir
+
+
+class TestBaselineSpecific:
+    def test_ext4_journals_metadata(self):
+        fs = make_fs("ext4")
+        fs.mkdir("/d")
+        fs.close(fs.creat("/d/f"))
+        assert fs.stats.journal_commits >= 2
+        assert fs.stats.journal_bytes > 0
+
+    def test_ext4_journal_replay(self):
+        from repro.basefs.ext4 import Journal
+
+        device = PMDevice(1024 * 1024, crash_tracking=False)
+        j = Journal(device, 512 * 1024, 256 * 1024)
+        j.commit([(100, b"hello"), (300, b"world")])
+        # Pretend the in-place checkpoint never happened; replay applies it.
+        fresh = PMDevice.from_image(device.durable_image(), crash_tracking=False)
+        j2 = Journal(fresh, 512 * 1024, 256 * 1024)
+        assert j2.replay() == 1
+        assert fresh.load(100, 5) == b"hello"
+        assert fresh.load(300, 5) == b"world"
+
+    def test_nova_keeps_per_inode_log(self):
+        fs = make_fs("nova")
+        fs.mkdir("/d")
+        fs.close(fs.creat("/d/f"))
+        fs.unlink("/d/f")
+        dir_ino = fs.stat("/d").ino
+        log = fs.replay_log(dir_ino)
+        kinds = [k for k, *_ in log]
+        assert kinds == [1, 2]  # create then unlink
+        assert log[0][2] == b"f"
+
+    def test_odinfs_delegates_large_writes(self):
+        fs = make_fs("odinfs")
+        fd = fs.creat("/big")
+        fs.pwrite(fd, b"z" * (64 * 1024), 0)
+        fs.close(fd)
+        assert fs.pool.delegated > 0
+        assert fs.read_file("/big") == b"z" * (64 * 1024)
+
+    def test_splitfs_data_path_avoids_syscalls(self):
+        fs = make_fs("splitfs")
+        fd = fs.creat("/f")
+        sys0 = fs.kernel_fs.stats.syscalls
+        for i in range(10):
+            fs.pwrite(fd, b"x" * 100, i * 100)
+        assert fs.kernel_fs.stats.syscalls == sys0  # staged in userspace
+        fs.fsync(fd)  # the relink goes through the kernel
+        assert fs.kernel_fs.stats.syscalls > sys0
+        assert fs.relinks == 10
+
+    def test_splitfs_read_sees_staged_data(self):
+        fs = make_fs("splitfs")
+        fd = fs.creat("/f")
+        fs.pwrite(fd, b"staged", 0)
+        assert fs.pread(fd, 10, 0) == b"staged"  # before any fsync
+
+    def test_strata_verifies_each_digested_op(self):
+        fs = make_fs("strata")
+        fs.mkdir("/d")
+        for i in range(5):
+            fs.close(fs.creat(f"/d/f{i}"))
+        assert fs.verified_ops >= 6
+        assert fs.digested_records >= 6
+
+    def test_strata_batches_data_writes(self):
+        fs = make_fs("strata")
+        fd = fs.creat("/f")
+        for i in range(10):
+            fs.pwrite(fd, b"a" * 10, i * 10)
+        # Writes sit in the user log until digest/fsync.
+        assert len(fs._log) == 10
+        fs.fsync(fd)
+        assert len(fs._log) == 0
+        assert fs.pread(fd, 100, 0) == b"a" * 100
+
+    def test_pmfs_undo_logs_old_values(self):
+        fs = make_fs("pmfs")
+        fs.mkdir("/d")
+        # The undo area received records (head moved).
+        assert fs._undo_head > fs._undo_start

@@ -1,0 +1,202 @@
+"""The LSM KV store: unit behaviour, recovery, and runs on every FS."""
+
+import pytest
+
+from repro.basefs import make_baseline
+from repro.core.config import ARCKFS_PLUS
+from repro.kernel.controller import KernelController
+from repro.kv.db import DB
+from repro.kv.memtable import MemTable
+from repro.kv.options import Options
+from repro.kv.sstable import BloomFilter, SSTable, SSTableWriter
+from repro.kv.wal import OP_PUT, WALWriter, replay
+from repro.libfs.libfs import LibFS
+from repro.pm.device import PMDevice
+
+SMALL = Options(memtable_bytes=2048, tables_per_level=2, levels=3)
+
+
+def arck_fs():
+    device = PMDevice(64 * 1024 * 1024, crash_tracking=False)
+    kernel = KernelController.fresh(device, inode_count=512, config=ARCKFS_PLUS)
+    return LibFS(kernel, "kv", uid=0, config=ARCKFS_PLUS)
+
+
+@pytest.fixture
+def fs():
+    return arck_fs()
+
+
+class TestComponents:
+    def test_memtable_basic(self):
+        mt = MemTable()
+        mt.put(1, b"a", b"1")
+        mt.put(2, b"b", b"2")
+        mt.delete(3, b"a")
+        assert mt.get(b"a") == (True, None)  # tombstone
+        assert mt.get(b"b") == (True, b"2")
+        assert mt.get(b"c") == (False, None)
+        assert [k for k, _s, _v in mt.items_sorted()] == [b"a", b"b"]
+
+    def test_bloom_filter(self):
+        bf = BloomFilter(1024)
+        keys = [f"key{i}".encode() for i in range(50)]
+        for k in keys:
+            bf.add(k)
+        assert all(bf.may_contain(k) for k in keys)
+        misses = sum(bf.may_contain(f"other{i}".encode()) for i in range(200))
+        assert misses < 40  # false-positive rate is sane
+
+    def test_wal_roundtrip_and_torn_tail(self, fs):
+        fs.mkdir("/w")
+        w = WALWriter(fs, "/w/log")
+        w.append(1, OP_PUT, b"k1", b"v1")
+        w.append(2, OP_PUT, b"k2", b"v2")
+        w.close()
+        # Torn tail: append garbage that fails the CRC.
+        fd = fs.open("/w/log")
+        size = fs.stat("/w/log").size
+        fs.close(fd)
+        fd = fs.open("/w/log")
+        fs.pwrite(fd, b"\x01" * 25, size)
+        fs.close(fd)
+        records = list(replay(fs, "/w/log"))
+        assert [(r[0], r[2], r[3]) for r in records] == [
+            (1, b"k1", b"v1"), (2, b"k2", b"v2")]
+
+    def test_sstable_roundtrip(self, fs):
+        fs.makedirs("/t")
+        entries = [(f"k{i:04d}".encode(), i, f"v{i}".encode()) for i in range(300)]
+        writer = SSTableWriter(fs, "/t/x.sst", Options(block_bytes=512))
+        assert writer.write(iter(entries)) == 300
+        table = SSTable(fs, "/t/x.sst")
+        assert table.count == 300
+        assert len(table.index) > 1  # multiple blocks
+        assert table.get(b"k0000") == (True, b"v0")
+        assert table.get(b"k0299") == (True, b"v299")
+        assert table.get(b"nope") == (False, None)
+        assert [k for k, _s, _v in table] == [e[0] for e in entries]
+
+    def test_sstable_tombstones(self, fs):
+        fs.makedirs("/t")
+        writer = SSTableWriter(fs, "/t/x.sst", Options())
+        writer.write(iter([(b"dead", 5, None), (b"live", 6, b"yes")]))
+        table = SSTable(fs, "/t/x.sst")
+        assert table.get(b"dead") == (True, None)
+        assert table.get(b"live") == (True, b"yes")
+
+
+class TestDB:
+    def test_put_get_delete(self, fs):
+        db = DB(fs, "/db", SMALL)
+        db.put(b"alpha", b"1")
+        db.put(b"beta", b"2")
+        assert db.get(b"alpha") == b"1"
+        db.delete(b"alpha")
+        assert db.get(b"alpha") is None
+        assert db.get(b"beta") == b"2"
+
+    def test_flush_and_read_from_sstable(self, fs):
+        db = DB(fs, "/db", SMALL)
+        for i in range(100):
+            db.put(f"k{i:03d}".encode(), b"v" * 50)
+        assert db.stats["flushes"] >= 1
+        assert db.get(b"k000") == b"v" * 50
+        assert db.get(b"k099") == b"v" * 50
+
+    def test_overwrite_across_flushes(self, fs):
+        db = DB(fs, "/db", SMALL)
+        db.put(b"key", b"old")
+        db.flush()
+        db.put(b"key", b"new")
+        assert db.get(b"key") == b"new"
+        db.flush()
+        assert db.get(b"key") == b"new"
+
+    def test_delete_masks_flushed_value(self, fs):
+        db = DB(fs, "/db", SMALL)
+        db.put(b"key", b"value")
+        db.flush()
+        db.delete(b"key")
+        assert db.get(b"key") is None
+        db.flush()
+        assert db.get(b"key") is None
+
+    def test_compaction_reduces_tables_and_preserves_data(self, fs):
+        db = DB(fs, "/db", SMALL)
+        for i in range(400):
+            # distinct keys with chunky values so several flushes happen
+            db.put(f"k{i:03d}".encode(), b"v" * 40 + str(i).encode())
+        assert db.stats["flushes"] >= 3
+        assert db.stats["compactions"] >= 1
+        for i in range(400):
+            got = db.get(f"k{i:03d}".encode())
+            assert got is not None and got.endswith(str(i).encode())
+
+    def test_scan_ordered(self, fs):
+        db = DB(fs, "/db", SMALL)
+        import random
+
+        keys = [f"k{i:04d}".encode() for i in range(200)]
+        shuffled = keys[:]
+        random.Random(7).shuffle(shuffled)
+        for k in shuffled:
+            db.put(k, b"v")
+        got = [k for k, _v in db.scan()]
+        assert got == keys
+
+    def test_scan_range(self, fs):
+        db = DB(fs, "/db", SMALL)
+        for i in range(50):
+            db.put(f"k{i:02d}".encode(), b"v")
+        got = [k for k, _v in db.scan(start=b"k10", end=b"k20")]
+        assert got == [f"k{i}".encode() for i in range(10, 20)]
+
+    def test_recovery_from_wal(self, fs):
+        db = DB(fs, "/db", SMALL)
+        db.put(b"persisted", b"yes")
+        # No close/flush: reopen replays the WAL.
+        db2 = DB(fs, "/db", SMALL)
+        assert db2.stats["wal_replayed"] >= 1
+        assert db2.get(b"persisted") == b"yes"
+
+    def test_recovery_from_manifest(self, fs):
+        db = DB(fs, "/db", SMALL)
+        for i in range(100):
+            db.put(f"k{i:03d}".encode(), b"v")
+        db.close()
+        db2 = DB(fs, "/db", SMALL)
+        assert db2.get(b"k050") == b"v"
+        assert len(list(db2.scan())) == 100
+
+    def test_seq_monotonic_across_recovery(self, fs):
+        db = DB(fs, "/db", SMALL)
+        db.put(b"a", b"1")
+        db.close()
+        db2 = DB(fs, "/db", SMALL)
+        db2.put(b"a", b"2")
+        assert db2.get(b"a") == b"2"
+
+
+@pytest.mark.parametrize("backend", ["ext4", "nova", "splitfs", "strata"])
+def test_db_runs_on_baselines(backend):
+    fs = make_baseline(backend, PMDevice(64 * 1024 * 1024, crash_tracking=False))
+    db = DB(fs, "/db", SMALL)
+    for i in range(60):
+        db.put(f"k{i:02d}".encode(), f"v{i}".encode())
+    db.delete(b"k10")
+    assert db.get(b"k10") is None
+    assert db.get(b"k59") == b"v59"
+    db.close()
+    db2 = DB(fs, "/db", SMALL)
+    assert db2.get(b"k30") == b"v30"
+
+
+def test_leveldb_is_data_dominated():
+    """§5.3: 'the LevelDB benchmark is dominated by data operations'."""
+    from repro.workloads.leveldb_bench import run_dbbench
+
+    fs = arck_fs()
+    result = run_dbbench(fs, "fillrandom", n=300)
+    assert result.data_dominance > 0.9
+    assert result.bytes_written > 300 * 100  # the values really moved

@@ -1,0 +1,86 @@
+"""The §4.6 lease semantics end-to-end: 'implemented as a lease with a
+timeout to prevent a malicious application from holding it indefinitely'."""
+
+import time
+
+import pytest
+
+from repro.concurrency.lease import LeaseExpired
+from repro.core.config import ARCKFS_PLUS
+from repro.errors import CorruptionDetected
+from repro.kernel.controller import KernelController
+from repro.libfs.libfs import LibFS
+from repro.pm.device import PMDevice
+
+
+def two_apps(lease_duration=0.05):
+    device = PMDevice(32 * 1024 * 1024)
+    kernel = KernelController.fresh(device, inode_count=256, config=ARCKFS_PLUS)
+    kernel.rename_lease.duration = lease_duration
+    a = LibFS(kernel, "appA", uid=0)
+    b = LibFS(kernel, "appB", uid=0)
+    return device, kernel, a, b
+
+
+class TestLeaseSemantics:
+    def test_hoarder_cannot_block_renames_forever(self):
+        """A malicious app grabs the lease and never releases it; the lease
+        expires and another app's directory rename proceeds."""
+        _dev, kernel, hoarder_fs, victim_fs = two_apps(lease_duration=0.05)
+        victim_fs.mkdir("/src", mode=0o777)
+        victim_fs.mkdir("/src/d", mode=0o777)
+        victim_fs.mkdir("/dst", mode=0o777)
+        victim_fs.release_all()
+
+        kernel.rename_lock_acquire("appA")  # ...and never releases
+        time.sleep(0.1)  # past the lease timeout
+        victim_fs.rename("/src/d", "/dst/d")  # steals the lapsed lease
+        victim_fs.release_all()
+        dst = kernel.shadow[kernel.shadow[0].children[b"dst"]]
+        assert b"d" in dst.children
+
+    def test_stale_holder_release_fails(self):
+        _dev, kernel, a, b = two_apps(lease_duration=0.02)
+        kernel.rename_lock_acquire("appA")
+        time.sleep(0.05)
+        kernel.rename_lock_acquire("appB")
+        with pytest.raises(LeaseExpired):
+            kernel.rename_lock_release("appA")
+
+    def test_lease_expiry_mid_relocation_fails_verification(self):
+        """If the lease lapses before the new parent commits, check (3)
+        rejects the relocation — the kernel never trusts a stale holder."""
+        _dev, kernel, fs, _b = two_apps(lease_duration=0.04)
+        fs.mkdir("/src")
+        fs.mkdir("/src/d")
+        fs.close(fs.creat("/src/d/f"))
+        fs.mkdir("/dst")
+        fs.release_all()
+
+        # Manual protocol with a deliberate stall while holding the lease.
+        manual = ARCKFS_PLUS.with_patch(rename_commit_protocol=False,
+                                        name="manual")
+        slow = LibFS(kernel, "slow", uid=0, config=manual)
+        slow.rename("/src/d", "/dst/d")  # apply (lease taken+released inside)
+        time.sleep(0.06)  # any lease we had has lapsed
+        with pytest.raises(CorruptionDetected, match="lease"):
+            slow.commit_path("/dst")
+
+    def test_lease_is_per_thread_within_an_app(self):
+        """The global rename lock serializes threads of one LibFS too
+        (case (1) of §4.6 races two threads of the same app)."""
+        import threading
+
+        _dev, kernel, fs, _b = two_apps(lease_duration=5.0)
+        kernel.rename_lock_acquire("appA")  # main thread holds it
+        got = []
+
+        def other_thread():
+            got.append(kernel.rename_lease.try_acquire(
+                kernel._lease_holder("appA")))
+
+        t = threading.Thread(target=other_thread)
+        t.start()
+        t.join()
+        assert got == [False]  # same app, different thread: must wait
+        kernel.rename_lock_release("appA")

@@ -1,0 +1,135 @@
+"""The multi-inode LibFS rules of §3.2, including the Figure 2 scenario.
+
+Rule (1): a newly created inode can be committed/released only after its
+parent; Rule (2): after relocating a non-empty directory, the new parent
+must be committed/released before the old parent; Rule (3): before renaming
+under a *newly created* sibling, commit the new parent first — breaking the
+Rule (1)/(2) circular dependency.
+"""
+
+import pytest
+
+from repro.core.config import ARCKFS_PLUS
+from repro.errors import CorruptionDetected
+from tests.conftest import build_fs
+
+# ArckFS+ kernel semantics but a LibFS that does NOT follow the rename
+# protocol — so the ordering rules are exercised manually.
+MANUAL = ARCKFS_PLUS.with_patch(rename_commit_protocol=False, name="manual-rules")
+
+
+class TestRule1:
+    def test_child_release_before_parent_fails(self):
+        _dev, _kc, fs = build_fs(MANUAL)
+        fs.mkdir("/d")
+        # /d has never been verified: from the kernel's view it is
+        # disconnected from the root (I3).
+        with pytest.raises(CorruptionDetected, match="not connected"):
+            fs.release_path("/d")
+
+    def test_child_commit_before_parent_fails(self):
+        _dev, _kc, fs = build_fs(MANUAL)
+        fs.mkdir("/d")
+        with pytest.raises(CorruptionDetected, match="not connected"):
+            fs.commit_path("/d")
+
+    def test_parent_first_then_child_passes(self):
+        _dev, kc, fs = build_fs(MANUAL)
+        fs.mkdir("/d")
+        fs.commit_path("/")  # registers /d
+        fs.release_path("/d")  # now verifiable
+        assert b"d" in kc.shadow[0].children
+
+    def test_deep_chain_must_release_top_down(self):
+        _dev, kc, fs = build_fs(MANUAL)
+        fs.mkdir("/a")
+        fs.mkdir("/a/b")
+        fs.mkdir("/a/b/c")
+        for path in ("/", "/a", "/a/b"):
+            fs.commit_path(path)
+        fs.release_path("/a/b/c")
+        assert len(kc.shadow) == 4
+
+
+class TestRule2:
+    def _relocated(self, fs):
+        fs.mkdir("/p1")
+        fs.mkdir("/p1/d")
+        fs.close(fs.creat("/p1/d/f"))
+        fs.mkdir("/p2")
+        fs.release_all()
+        # Manual relocation of non-empty /p1/d into /p2 (no protocol —
+        # rename() itself still takes/releases the lease around the apply).
+        fs.rename("/p1/d", "/p2/d")
+
+    def test_old_parent_first_fails(self):
+        _dev, _kc, fs = build_fs(MANUAL)
+        self._relocated(fs)
+        with pytest.raises(CorruptionDetected, match="I3"):
+            fs.commit_path("/p1")
+
+    def test_new_parent_first_passes(self):
+        _dev, kc, fs = build_fs(MANUAL)
+        self._relocated(fs)
+        # The verifier's check (3) requires the lease at the moment the new
+        # parent's verification re-targets the directory parent pointer.
+        fs.kernel.rename_lock_acquire(fs.app_id)
+        fs.commit_path("/p2")  # re-targets d's shadow parent pointer
+        fs.kernel.rename_lock_release(fs.app_id)
+        fs.commit_path("/p1")  # missing child now reads as renamed-away
+        fs.release_all()
+        p2 = kc.shadow[kc.shadow[0].children[b"p2"]]
+        assert b"d" in p2.children
+
+
+class TestFigure2:
+    """Rename a non-empty directory under a newly created sibling."""
+
+    def _setup(self, fs):
+        fs.mkdir("/dir0")
+        fs.mkdir("/dir0/dir2")
+        fs.close(fs.creat("/dir0/dir2/f"))
+        fs.release_all()
+        # dir1 is the newly created sibling; dir0 is re-acquired by mkdir.
+        fs.mkdir("/dir0/dir1")
+
+    def test_circular_dependency_without_rule3(self):
+        """Committing either dir0 or dir1 first fails: the deadlock of
+        Figure 2 — dir1 blocked by Rule (1), dir0 blocked by Rule (2)."""
+        _dev, _kc, fs = build_fs(MANUAL)
+        self._setup(fs)
+        fs.rename("/dir0/dir2", "/dir0/dir1/dir2")
+
+        # dir1 first: it was never registered (dir0 not committed since its
+        # creation) -> Rule (1) violation.
+        with pytest.raises(CorruptionDetected, match="not connected"):
+            fs.commit_path("/dir0/dir1")
+        # dir0 first: dir2 is missing and still parented here -> Rule (2).
+        with pytest.raises(CorruptionDetected, match="I3"):
+            fs.commit_path("/dir0")
+
+    def test_rule3_breaks_the_cycle(self):
+        """Committing dir0 then dir1 *before* the rename resolves it."""
+        _dev, kc, fs = build_fs(MANUAL)
+        self._setup(fs)
+        fs.commit_path("/dir0")  # registers dir1 (Rule 1 satisfied)
+        fs.commit_path("/dir0/dir1")  # Rule (3): new parent verifiable
+        fs.rename("/dir0/dir2", "/dir0/dir1/dir2")
+        fs.kernel.rename_lock_acquire(fs.app_id)
+        fs.commit_path("/dir0/dir1")  # Rule (2): new parent first
+        fs.kernel.rename_lock_release(fs.app_id)
+        fs.commit_path("/dir0")
+        fs.release_all()
+        dir1 = kc.shadow[kc.shadow[kc.shadow[0].children[b"dir0"]].children[b"dir1"]]
+        assert b"dir2" in dir1.children
+
+    def test_full_protocol_handles_it_automatically(self):
+        """The ArckFS+ LibFS performs the whole dance inside rename()."""
+        _dev, kc, fs = build_fs(ARCKFS_PLUS)
+        self._setup(fs)
+        fs.rename("/dir0/dir2", "/dir0/dir1/dir2")
+        fs.release_all()
+        dir0 = kc.shadow[kc.shadow[0].children[b"dir0"]]
+        dir1 = kc.shadow[dir0.children[b"dir1"]]
+        assert b"dir2" in dir1.children
+        assert b"dir2" not in dir0.children

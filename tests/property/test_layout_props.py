@@ -1,0 +1,73 @@
+"""Property tests: binary layouts round-trip for all field values."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pm.layout import (
+    Dentry,
+    Geometry,
+    InodeRecord,
+    NTAILS,
+    PageHeader,
+    Superblock,
+)
+
+u8 = st.integers(0, 2**8 - 1)
+u16 = st.integers(0, 2**16 - 1)
+u32 = st.integers(0, 2**32 - 1)
+u64 = st.integers(0, 2**64 - 1)
+names = st.binary(min_size=1, max_size=255)
+
+
+class TestRoundTrips:
+    @given(magic=u64, size=u64, block=u32, ninodes=u32, itable=u64,
+           bitmap=u64, data=u64, root=u64)
+    def test_superblock(self, magic, size, block, ninodes, itable, bitmap, data, root):
+        sb = Superblock(magic, size, block, ninodes, itable, bitmap, data, root)
+        assert Superblock.unpack(sb.pack()) == sb
+        assert len(sb.pack()) == Superblock.SIZE
+
+    @given(magic=u32, itype=u8, mode=u16, uid=u32, gen=u32, size=u64,
+           nlink=u32, seq=u32, index_root=u64,
+           tails=st.lists(u64, min_size=NTAILS, max_size=NTAILS))
+    def test_inode_record(self, magic, itype, mode, uid, gen, size, nlink,
+                          seq, index_root, tails):
+        rec = InodeRecord(magic, itype, mode, uid, gen, size, nlink, seq,
+                          index_root, tails)
+        back = InodeRecord.unpack(rec.pack())
+        assert back == rec
+        assert len(rec.pack()) == InodeRecord.SIZE
+
+    @given(ino=u64, gen=u32, seq=u32, itype=u8, deleted=u8, name=names)
+    def test_dentry(self, ino, gen, seq, itype, deleted, name):
+        rec_len = Dentry.record_len(name)
+        d = Dentry(ino, gen, seq, rec_len, len(name), itype, deleted, name)
+        back = Dentry.unpack(d.pack())
+        assert back == d
+        assert len(d.pack()) == rec_len
+        assert rec_len % 8 == 0
+
+    @given(next_page=u64, used=u16, kind=u16)
+    def test_page_header(self, next_page, used, kind):
+        hdr = PageHeader(next_page, used, kind)
+        assert PageHeader.unpack(hdr.pack()) == hdr
+
+
+class TestGeometry:
+    @given(size=st.integers(1 << 20, 1 << 28), inodes=st.integers(16, 4096))
+    @settings(max_examples=50)
+    def test_regions_disjoint_and_ordered(self, size, inodes):
+        g = Geometry.compute(size, inodes)
+        assert g.itable_off >= Superblock.SIZE
+        assert g.bitmap_off >= g.itable_off + inodes * InodeRecord.SIZE
+        assert g.data_off >= g.bitmap_off + (g.page_count + 7) // 8
+        assert g.data_off % 4096 == 0
+        if g.page_count:
+            assert g.page_off(g.page_count) + 4096 <= size
+
+    @given(size=st.integers(1 << 20, 1 << 26), inodes=st.integers(16, 1024))
+    @settings(max_examples=30)
+    def test_inode_offsets_distinct(self, size, inodes):
+        g = Geometry.compute(size, inodes)
+        offs = {g.inode_off(i) for i in range(inodes)}
+        assert len(offs) == inodes

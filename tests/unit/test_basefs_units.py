@@ -1,0 +1,151 @@
+"""Unit tests for baseline-FS internals beyond the conformance battery."""
+
+import pytest
+
+from repro.basefs import make_baseline
+from repro.basefs.ext4 import Journal
+from repro.errors import NoEntry, WouldLoop
+from repro.pm.device import PMDevice
+
+
+def dev():
+    return PMDevice(32 * 1024 * 1024, crash_tracking=False)
+
+
+class TestJournal:
+    def test_txn_ids_monotonic(self):
+        d = dev()
+        j = Journal(d, 1024 * 1024, 256 * 1024)
+        assert j.commit([(0, b"a")]) > 0
+        assert j.commit([(8, b"b")]) > 0
+        assert j.txn_id == 2
+
+    def test_replay_stops_at_uncommitted_tail(self):
+        d = dev()
+        j = Journal(d, 1024 * 1024, 256 * 1024)
+        j.commit([(100, b"yes")])
+        # Half-written second transaction: header but no commit block.
+        import struct
+
+        d.store(j.head, struct.pack("<QI", 99, 1))
+        fresh = PMDevice.from_image(d.durable_image(), crash_tracking=False)
+        j2 = Journal(fresh, 1024 * 1024, 256 * 1024)
+        assert j2.replay() == 1
+        assert fresh.load(100, 3) == b"yes"
+
+    def test_wrap_resets_to_start(self):
+        d = dev()
+        j = Journal(d, 1024 * 1024, 4096)
+        for i in range(40):  # overflow the tiny ring
+            j.commit([(i * 8, b"x" * 64)])
+        assert 1024 * 1024 <= j.head <= 1024 * 1024 + 4096
+
+
+class TestVFSDetails:
+    def test_dcache_hit_counting(self):
+        fs = make_baseline("ext4", dev())
+        fs.mkdir("/a")
+        fs.stat("/a")
+        fs.stat("/a")
+        assert fs.stats.dcache_hits >= 1
+
+    def test_dcache_invalidated_on_rename(self):
+        fs = make_baseline("ext4", dev())
+        fs.makedirs("/a/b")
+        fs.stat("/a/b")  # populate dcache
+        fs.mkdir("/c")
+        fs.rename("/a", "/c/a2")
+        with pytest.raises(NoEntry):
+            fs.stat("/a/b")
+        assert fs.stat("/c/a2/b").is_dir
+
+    def test_rename_into_own_subtree_rejected(self):
+        fs = make_baseline("nova", dev())
+        fs.makedirs("/a/b")
+        with pytest.raises(WouldLoop):
+            fs.rename("/a", "/a/b/x")
+
+    def test_syscall_counting(self):
+        fs = make_baseline("pmfs", dev())
+        s0 = fs.stats.syscalls
+        fd = fs.creat("/f")
+        fs.pwrite(fd, b"x", 0)
+        fs.pread(fd, 1, 0)
+        fs.close(fd)
+        assert fs.stats.syscalls == s0 + 4  # every op is a kernel entry
+
+
+class TestPMFSUndo:
+    def test_undo_region_advances_and_wraps(self):
+        fs = make_baseline("pmfs", dev())
+        start = fs._undo_start
+        for i in range(50):
+            fs.close(fs.creat(f"/f{i}"))
+        assert fs._undo_head > start
+        assert fs._undo_head <= fs.device.size
+
+
+class TestWineFS:
+    def test_alignment_tracking_exists(self):
+        fs = make_baseline("winefs", dev())
+        fd = fs.creat("/big")
+        fs.pwrite(fd, b"z" * (8 * 4096), 0)
+        fs.close(fd)
+        assert fs.unaligned_allocs >= 0  # counter maintained
+
+
+class TestOdinFS:
+    def test_small_writes_not_delegated(self):
+        fs = make_baseline("odinfs", dev())
+        fd = fs.creat("/small")
+        fs.pwrite(fd, b"tiny", 0)
+        assert fs.pool.delegated == 0
+        fs.pwrite(fd, b"B" * 8192, 0)
+        assert fs.pool.delegated > 0
+        fs.close(fd)
+
+    def test_delegated_content_correct_across_sockets(self):
+        fs = make_baseline("odinfs", dev())
+        fd = fs.creat("/wide")
+        payload = bytes(i % 256 for i in range(32 * 4096))
+        fs.pwrite(fd, payload, 0)
+        assert fs.pread(fd, len(payload), 0) == payload
+        fs.close(fd)
+
+
+class TestSplitFS:
+    def test_overlay_partial_overlap(self):
+        fs = make_baseline("splitfs", dev())
+        fd = fs.creat("/f")
+        fs.pwrite(fd, b"AAAAAAAA", 0)
+        fs.fsync(fd)  # relink: kernel now has 8 A's
+        fs.pwrite(fd, b"bb", 3)  # staged only
+        assert fs.pread(fd, 8, 0) == b"AAAbbAAA"
+        fs.fsync(fd)
+        assert fs.pread(fd, 8, 0) == b"AAAbbAAA"
+
+    def test_stat_sees_staged_growth(self):
+        fs = make_baseline("splitfs", dev())
+        fd = fs.creat("/f")
+        fs.pwrite(fd, b"x" * 100, 0)
+        assert fs.stat("/f").size == 100  # before any relink
+        fs.close(fd)
+
+
+class TestStrata:
+    def test_digest_threshold_triggers(self):
+        fs = make_baseline("strata", dev())
+        fs.DIGEST_THRESHOLD = 4
+        fd = fs.creat("/f")
+        for i in range(5):
+            fs.pwrite(fd, b"x", i)
+        # The 4th append digested automatically.
+        assert fs.digested_records >= 4
+        fs.close(fd)
+
+    def test_reads_force_digest_of_pending_writes(self):
+        fs = make_baseline("strata", dev())
+        fd = fs.creat("/f")
+        fs.pwrite(fd, b"fresh", 0)
+        assert fs.pread(fd, 5, 0) == b"fresh"
+        fs.close(fd)

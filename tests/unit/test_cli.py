@@ -1,0 +1,35 @@
+"""Smoke tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_table4(capsys):
+    assert main(["table4"]) == 0
+    out = capsys.readouterr().out
+    assert "4KB-write 1GB" in out
+    assert "arckfs+-trust-group" in out
+
+
+def test_fig3(capsys):
+    assert main(["fig3"]) == 0
+    out = capsys.readouterr().out
+    assert "arckfs+" in out and "strata" in out and "create" in out
+
+
+def test_filebench(capsys):
+    assert main(["filebench"]) == 0
+    out = capsys.readouterr().out
+    assert "webproxy-shared" in out and "ratio=" in out
+
+
+def test_fig4_custom_threads(capsys):
+    assert main(["fig4", "--threads", "1,4"]) == 0
+    out = capsys.readouterr().out
+    assert "MWUM" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig9000"])

@@ -1,0 +1,237 @@
+"""Unit tests for the kernel components: mapping, permissions, policies,
+shadow bookkeeping, verifier rejection cases, controller syscalls."""
+
+import pytest
+
+from repro.core.config import ARCKFS_PLUS
+from repro.errors import (
+    CorruptionDetected,
+    InvalidArgument,
+    NoEntry,
+    NoSpace,
+    PermissionDenied,
+    SimulatedBusError,
+    TryAgain,
+)
+from repro.kernel.controller import KernelController
+from repro.kernel.permissions import READ, WRITE, check_access, may_read, may_write
+from repro.kernel.policy import MarkInaccessiblePolicy
+from repro.pm.device import PMDevice
+from repro.pm.mapping import Mapping
+from tests.conftest import build_fs
+
+
+class TestMapping:
+    def test_passthrough_then_fault(self):
+        dev = PMDevice(4096)
+        m = Mapping(dev, ino=7, tag="app")
+        m.store(0, b"abc")
+        assert m.load(0, 3) == b"abc"
+        m.unmap()
+        assert not m.valid
+        for access in (lambda: m.load(0, 1), lambda: m.store(0, b"x"),
+                       lambda: m.clwb(0, 1), lambda: m.sfence(),
+                       lambda: m.persist(0, 1), lambda: m.ntstore(0, b"x"),
+                       lambda: m.atomic_store(0, b"x")):
+            with pytest.raises(SimulatedBusError):
+                access()
+
+
+class TestPermissions:
+    def test_owner_bits(self):
+        assert may_write(0o600, uid=5, accessor_uid=5)
+        assert not may_write(0o600, uid=5, accessor_uid=6)
+        assert not may_read(0o600, uid=5, accessor_uid=6)
+
+    def test_other_bits(self):
+        assert may_read(0o604, uid=5, accessor_uid=6)
+        assert not may_write(0o604, uid=5, accessor_uid=6)
+
+    def test_root_bypasses(self):
+        assert may_write(0o000, uid=5, accessor_uid=0)
+
+    def test_check_access_raises(self):
+        with pytest.raises(PermissionDenied):
+            check_access(0o644, uid=5, accessor_uid=6, want=WRITE)
+        check_access(0o644, uid=5, accessor_uid=6, want=READ)
+
+
+class TestControllerSyscalls:
+    def test_register_twice_rejected(self):
+        _dev, kernel, _fs = build_fs()
+        with pytest.raises(InvalidArgument):
+            kernel.register_app("app1", uid=1)  # fixture registered app1
+
+    def test_acquire_unknown_inode(self):
+        _dev, kernel, _fs = build_fs()
+        with pytest.raises(NoEntry):
+            kernel.acquire("app1", 77)
+
+    def test_unregistered_app_rejected(self):
+        _dev, kernel, _fs = build_fs()
+        with pytest.raises(InvalidArgument):
+            kernel.acquire("ghost", 0)
+
+    def test_inode_slots_exhaust(self):
+        device = PMDevice(8 * 1024 * 1024)
+        kernel = KernelController.fresh(device, inode_count=8)
+        kernel.register_app("a", uid=0)
+        for _ in range(7):  # slot 0 is the root
+            kernel.alloc_inode("a")
+        with pytest.raises(NoSpace):
+            kernel.alloc_inode("a")
+
+    def test_abort_inode_returns_slot(self):
+        _dev, kernel, _fs = build_fs()
+        before = len(kernel.free_inodes)
+        ino, _gen = kernel.alloc_inode("app1")
+        kernel.acquire("app1", ino)
+        kernel.abort_inode("app1", ino)
+        assert len(kernel.free_inodes) == before
+        assert ino not in kernel.acquisitions
+
+    def test_release_unowned_rejected(self):
+        _dev, kernel, _fs = build_fs()
+        with pytest.raises(InvalidArgument):
+            kernel.release("app1", 0)
+
+    def test_generation_bumps_per_allocation(self):
+        _dev, kernel, _fs = build_fs()
+        ino, gen1 = kernel.alloc_inode("app1")
+        kernel.abort_inode("app1", ino)
+        ino2, gen2 = kernel.alloc_inode("app1")
+        assert ino2 == ino and gen2 == gen1 + 1
+
+    def test_read_to_write_upgrade_checks_permission(self):
+        _dev, kernel, fs = build_fs()
+        fs.close(fs.creat("/f", mode=0o444))
+        fs.commit_path("/")
+        ino = fs.stat("/f").ino
+        fs.release_all()
+        kernel.register_app("reader", uid=4242)
+        kernel.acquire("reader", ino, write=False)
+        with pytest.raises(PermissionDenied):
+            kernel.acquire("reader", ino, write=True)
+
+    def test_rename_lease_expiry_is_stealable(self):
+        _dev, kernel, _fs = build_fs()
+        kernel.rename_lease.duration = 0.01
+        kernel.register_app("app2", uid=0)
+        kernel.rename_lock_acquire("app1")
+        import time
+
+        time.sleep(0.05)
+        kernel.rename_lock_acquire("app2", timeout=0.5)  # stolen after expiry
+        assert kernel.rename_lock_held("app2")
+        assert not kernel.rename_lock_held("app1")
+
+
+class TestVerifierRejections:
+    def make(self):
+        return build_fs(ARCKFS_PLUS)
+
+    def _registered_file(self, fs):
+        fd = fs.creat("/f")
+        fs.pwrite(fd, b"x" * 100, 0)
+        fs.close(fd)
+        fs.commit_path("/")
+        fs.commit_path("/f")
+        return fs.stat("/f").ino
+
+    def test_generation_change_rejected(self):
+        _dev, kernel, fs = self.make()
+        ino = self._registered_file(fs)
+        mi = fs._attach(ino, write=True)
+        rec = fs._cs(mi).read_inode(ino)
+        rec.gen += 5
+        fs._cs(mi).write_inode(ino, rec)
+        with pytest.raises(CorruptionDetected, match="generation"):
+            kernel.release("app1", ino)
+
+    def test_type_change_rejected(self):
+        _dev, kernel, fs = self.make()
+        ino = self._registered_file(fs)
+        mi = fs._attach(ino, write=True)
+        rec = fs._cs(mi).read_inode(ino)
+        rec.itype = 2  # file -> dir
+        fs._cs(mi).write_inode(ino, rec)
+        with pytest.raises(CorruptionDetected, match="type"):
+            kernel.release("app1", ino)
+
+    def test_permission_change_rejected(self):
+        _dev, kernel, fs = self.make()
+        ino = self._registered_file(fs)
+        mi = fs._attach(ino, write=True)
+        rec = fs._cs(mi).read_inode(ino)
+        rec.mode = 0o777
+        fs._cs(mi).write_inode(ino, rec)
+        with pytest.raises(CorruptionDetected, match="permission"):
+            kernel.release("app1", ino)
+
+    def test_size_beyond_pages_rejected(self):
+        _dev, kernel, fs = self.make()
+        ino = self._registered_file(fs)
+        mi = fs._attach(ino, write=True)
+        fs._cs(mi).set_file_size(ino, 1 << 40)
+        with pytest.raises(CorruptionDetected, match="size"):
+            kernel.release("app1", ino)
+
+    def test_foreign_page_claim_rejected(self):
+        """An inode claiming a page owned by another inode fails (I2)."""
+        import struct
+
+        _dev, kernel, fs = self.make()
+        ino = self._registered_file(fs)
+        fd2 = fs.creat("/other")
+        fs.pwrite(fd2, b"y" * 5000, 0)
+        fs.close(fd2)
+        fs.commit_path("/")
+        fs.commit_path("/other")
+        other_pages = kernel.core.file_pages(kernel.core.read_inode(fs.stat("/other").ino))
+        # Point /f's first index slot at /other's page.
+        mi = fs._attach(ino, write=True)
+        rec = fs._cs(mi).read_inode(ino)
+        idx_page = kernel.core.index_pages(rec)[0]
+        addr = kernel.geom.page_off(idx_page) + 16
+        mi.mapping.store(addr, struct.pack("<Q", other_pages[0]))
+        mi.mapping.persist(addr, 8)
+        with pytest.raises(CorruptionDetected, match="owned by"):
+            kernel.release("app1", ino)
+
+    def test_dentry_to_unknown_inode_rejected(self):
+        _dev, kernel, fs = self.make()
+        fs.mkdir("/d")
+        fs.commit_path("/")
+        mi = fs._attach(fs.stat("/d").ino, write=True)
+        from repro.core.corestate import TailCursor
+
+        cursor = mi.cursors[0]
+        fs._cs(mi).append_dentry(
+            mi.ino, mi.record, 0, cursor, b"phantom", 99, 1, 1, 1, fs.alloc,
+            fence_before_marker=True)
+        with pytest.raises(CorruptionDetected, match="unknown inode"):
+            kernel.release("app1", mi.ino)
+
+
+class TestMarkInaccessiblePolicy:
+    def test_corrupt_inode_is_fenced_off(self):
+        device = PMDevice(16 * 1024 * 1024)
+        kernel = KernelController.fresh(
+            device, inode_count=128, config=ARCKFS_PLUS,
+            policy=MarkInaccessiblePolicy())
+        from repro.libfs.libfs import LibFS
+
+        fs = LibFS(kernel, "app1", uid=0, config=ARCKFS_PLUS)
+        fd = fs.creat("/f")
+        fs.close(fd)
+        fs.commit_path("/")
+        fs.commit_path("/f")
+        ino = fs.stat("/f").ino
+        mi = fs._attach(ino, write=True)
+        fs._cs(mi).set_file_size(ino, 1 << 40)
+        with pytest.raises(CorruptionDetected):
+            kernel.release("app1", ino)
+        assert kernel.stats.marked_inaccessible == 1
+        kernel.register_app("app2", uid=0)
+        with pytest.raises(PermissionDenied, match="inaccessible"):
+            kernel.acquire("app2", ino)

@@ -1,0 +1,221 @@
+"""Unit tests for the simulated PM device (repro.pm.device).
+
+These pin down the persistency semantics everything above relies on:
+stores are volatile until flush+fence, un-fenced lines can persist in any
+order (the §4.2 window), fences collapse the nondeterminism.
+"""
+
+import pytest
+
+from repro.errors import PersistOrderError
+from repro.pm import CACHE_LINE, PMDevice
+
+
+@pytest.fixture
+def dev():
+    return PMDevice(64 * 1024)
+
+
+class TestBasics:
+    def test_load_store_roundtrip(self, dev):
+        dev.store(100, b"hello")
+        assert dev.load(100, 5) == b"hello"
+
+    def test_initial_zero(self, dev):
+        assert dev.load(0, 128) == b"\0" * 128
+
+    def test_size_rounded_to_line(self):
+        dev = PMDevice(100)
+        assert dev.size == 128
+
+    def test_out_of_range_rejected(self, dev):
+        with pytest.raises(PersistOrderError):
+            dev.load(dev.size - 2, 4)
+        with pytest.raises(PersistOrderError):
+            dev.store(-1, b"x")
+
+    def test_store_spanning_lines(self, dev):
+        data = bytes(range(200 % 256)) * 1
+        data = bytes(i % 256 for i in range(200))
+        dev.store(CACHE_LINE - 10, data)
+        assert dev.load(CACHE_LINE - 10, 200) == data
+
+    def test_empty_store_is_noop(self, dev):
+        dev.store(0, b"")
+        assert dev.dirty_lines() == []
+
+    def test_stats_counted(self, dev):
+        dev.store(0, b"abcd")
+        dev.load(0, 4)
+        dev.clwb(0, 4)
+        dev.sfence()
+        assert dev.stats.stores == 1
+        assert dev.stats.loads == 1
+        assert dev.stats.clwbs == 1
+        assert dev.stats.fences == 1
+        assert dev.stats.bytes_stored == 4
+
+
+class TestAtomicity:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16])
+    def test_atomic_sizes_ok(self, dev, n):
+        dev.atomic_store(n * 4, b"\xff" * n)
+
+    def test_atomic_bad_size(self, dev):
+        with pytest.raises(PersistOrderError):
+            dev.atomic_store(0, b"\xff" * 3)
+
+    def test_atomic_misaligned(self, dev):
+        with pytest.raises(PersistOrderError):
+            dev.atomic_store(4, b"\xff" * 8)
+
+
+class TestDurability:
+    def test_store_not_durable_until_fence(self, dev):
+        dev.store(0, b"AAAA")
+        assert dev.durable_image()[:4] == b"\0\0\0\0"
+        dev.clwb(0, 4)
+        assert dev.durable_image()[:4] == b"\0\0\0\0"
+        dev.sfence()
+        assert dev.durable_image()[:4] == b"AAAA"
+
+    def test_fence_without_clwb_persists_nothing(self, dev):
+        dev.store(0, b"AAAA")
+        dev.sfence()
+        assert dev.durable_image()[:4] == b"\0\0\0\0"
+
+    def test_clwb_snapshots_current_content(self, dev):
+        # A store after clwb is NOT covered by the following fence.
+        dev.store(0, b"A")
+        dev.clwb(0, 1)
+        dev.store(0, b"B")
+        dev.sfence()
+        assert dev.durable_image()[0:1] == b"A"
+        assert dev.load(0, 1) == b"B"
+
+    def test_ntstore_needs_fence(self, dev):
+        dev.ntstore(0, b"ZZ")
+        assert dev.durable_image()[:2] == b"\0\0"
+        dev.sfence()
+        assert dev.durable_image()[:2] == b"ZZ"
+
+    def test_persist_helper(self, dev):
+        dev.store(10, b"xyz")
+        dev.persist(10, 3)
+        assert dev.durable_image()[10:13] == b"xyz"
+
+    def test_drain(self, dev):
+        dev.store(0, b"A")
+        dev.store(5000, b"B")
+        dev.drain()
+        img = dev.durable_image()
+        assert img[0:1] == b"A" and img[5000:5001] == b"B"
+        assert dev.dirty_lines() == []
+
+
+class TestCrashStates:
+    def test_unfenced_line_may_or_may_not_persist(self, dev):
+        dev.store(0, b"A")
+        images = list(dev.enumerate_crash_images())
+        firsts = sorted(img[0:1] for img in images)
+        assert firsts == [b"\0", b"A"]
+
+    def test_unfenced_lines_unordered(self, dev):
+        """The §4.2 window: a later store can persist while an earlier one
+        does not, when no fence separates them (different cache lines)."""
+        dev.store(0, b"BODY")  # line 0
+        dev.clwb(0, 4)  # queued but NOT fenced
+        dev.store(CACHE_LINE, b"MARK")  # line 1 — 'later' store
+        dev.clwb(CACHE_LINE, 4)
+        states = set()
+        for img in dev.enumerate_crash_images():
+            states.add((img[0:4] == b"BODY", img[CACHE_LINE : CACHE_LINE + 4] == b"MARK"))
+        assert (False, True) in states  # marker persisted, body lost
+
+    def test_fence_orders_persistence(self, dev):
+        """With the ArckFS+ fence, marker-persisted implies body-persisted."""
+        dev.store(0, b"BODY")
+        dev.clwb(0, 4)
+        dev.sfence()  # the one-line patch of §4.2
+        dev.store(CACHE_LINE, b"MARK")
+        dev.clwb(CACHE_LINE, 4)
+        for img in dev.enumerate_crash_images():
+            if img[CACHE_LINE : CACHE_LINE + 4] == b"MARK":
+                assert img[0:4] == b"BODY"
+
+    def test_multiple_versions_of_one_line(self, dev):
+        dev.store(0, b"1")
+        dev.store(0, b"2")
+        dev.store(0, b"3")
+        firsts = {img[0:1] for img in dev.enumerate_crash_images()}
+        assert firsts == {b"\0", b"1", b"2", b"3"}
+
+    def test_fence_raises_floor(self, dev):
+        dev.store(0, b"1")
+        dev.persist(0, 1)
+        dev.store(0, b"2")
+        firsts = {img[0:1] for img in dev.enumerate_crash_images()}
+        assert firsts == {b"1", b"2"}  # b"\0" no longer reachable
+
+    def test_enumeration_limit(self, dev):
+        for i in range(20):
+            dev.store(i * CACHE_LINE, b"x")
+        with pytest.raises(PersistOrderError):
+            list(dev.enumerate_crash_images(limit=100))
+
+    def test_sampling(self, dev):
+        for i in range(20):
+            dev.store(i * CACHE_LINE, b"x")
+        imgs = list(dev.sample_crash_images(16, seed=7))
+        assert len(imgs) == 16
+
+    def test_torn_multiline_store(self, dev):
+        data = b"Q" * (2 * CACHE_LINE)
+        dev.store(0, data)
+        seen = set()
+        for img in dev.enumerate_crash_images():
+            seen.add((img[0:1] == b"Q", img[CACHE_LINE : CACHE_LINE + 1] == b"Q"))
+        # All four combinations reachable: multi-line stores can tear.
+        assert len(seen) == 4
+
+    def test_from_image_reboot(self, dev):
+        dev.store(0, b"payload")
+        dev.persist(0, 7)
+        rebooted = PMDevice.from_image(dev.durable_image())
+        assert rebooted.load(0, 7) == b"payload"
+
+    def test_crash_tracking_disabled(self):
+        dev = PMDevice(4096, crash_tracking=False)
+        dev.store(0, b"A")
+        assert dev.durable_image()[0:1] == b"A"  # straight to media
+        assert dev.dirty_lines() == []
+
+
+class TestCrashSim:
+    def test_find_violation(self):
+        from repro.pm import CrashSim
+
+        dev = PMDevice(4096)
+        dev.store(0, b"BODY")
+        dev.clwb(0, 4)
+        dev.store(CACHE_LINE, b"MARK")
+        dev.clwb(CACHE_LINE, 4)
+        sim = CrashSim(dev)
+
+        def checker(rebooted):
+            marker = rebooted.load(CACHE_LINE, 4) == b"MARK"
+            body = rebooted.load(0, 4) == b"BODY"
+            if marker and not body:
+                return "marker without body"
+            return None
+
+        hit = sim.find_violation(checker)
+        assert hit is not None and hit[1] == "marker without body"
+
+    def test_state_count(self):
+        from repro.pm import CrashSim
+
+        dev = PMDevice(4096)
+        dev.store(0, b"a")
+        dev.store(CACHE_LINE, b"b")
+        assert CrashSim(dev).state_count() == 4

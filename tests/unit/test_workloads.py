@@ -1,0 +1,206 @@
+"""Workload definitions: the simulated op streams are well-formed and the
+functional drivers really perform the Table 3 semantics on a live FS."""
+
+import pytest
+
+from repro.workloads.filebench import (
+    FILEBENCH_SIMS,
+    FilebenchEngine,
+    PERSONALITIES,
+    VARMAIL,
+    WEBPROXY,
+)
+from repro.workloads.fio import FIO_WORKLOADS
+from repro.workloads.fxmark import FXMARK, METADATA_WORKLOADS, run_functional
+from repro.workloads.microbench import METADATA_OPS
+from tests.conftest import build_fs
+
+
+class TestFxMarkDefinitions:
+    def test_all_twelve_present(self):
+        assert set(METADATA_WORKLOADS) == set(FXMARK)
+        assert len(METADATA_WORKLOADS) == 12
+
+    @pytest.mark.parametrize("name", METADATA_WORKLOADS)
+    def test_ctx_stream_well_formed(self, name):
+        w = FXMARK[name]
+        for tid in (0, 3):
+            for i in range(5):
+                ctx = w.op_ctx(tid, i, 8)
+                assert "op" in ctx
+                assert ctx["op"] in ("create", "unlink", "open", "stat",
+                                     "readdir", "rename", "truncate")
+
+    def test_private_workloads_use_private_dirs(self):
+        for name in ("MRPL", "MRDL", "MWCL", "MWUL"):
+            a = FXMARK[name].op_ctx(0, 0, 8)
+            b = FXMARK[name].op_ctx(1, 0, 8)
+            assert a["dir"] != b["dir"]
+
+    def test_shared_workloads_share(self):
+        for name in ("MRPM", "MRDM", "MWCM", "MWUM"):
+            a = FXMARK[name].op_ctx(0, 0, 8)
+            b = FXMARK[name].op_ctx(1, 0, 8)
+            assert a["dir"] == b["dir"] == "shared"
+
+    def test_mwrm_crosses_into_shared(self):
+        ctx = FXMARK["MWRM"].op_ctx(2, 0, 8)
+        assert ctx["cross"] and ctx["dir2"] == "shared"
+
+    @pytest.mark.parametrize("name", METADATA_WORKLOADS)
+    def test_functional_single_thread(self, name):
+        _dev, _kernel, fs = build_fs(size=64 * 1024 * 1024, inode_count=4096)
+        total = run_functional(FXMARK[name], fs, nthreads=1, ops_per_thread=8)
+        assert total == 8
+
+    @pytest.mark.parametrize("name", ["MWCL", "MWUL", "MRPL", "MWRL"])
+    def test_functional_multithreaded(self, name):
+        """Real threads through the real LibFS: no crashes, correct counts."""
+        _dev, kernel, fs = build_fs(size=64 * 1024 * 1024, inode_count=4096)
+        total = run_functional(FXMARK[name], fs, nthreads=4, ops_per_thread=8)
+        assert total == 32
+        fs.release_all()
+        assert kernel.audit_tree() == []
+
+    def test_dwtl_semantics(self):
+        """DWTL: 'Reduces the size of a private file by 4K' per op."""
+        _dev, _kernel, fs = build_fs(size=64 * 1024 * 1024, inode_count=512)
+        w = FXMARK["DWTL"]
+        w.prepare(fs, 1)
+        before = fs.stat("/p0/big").size
+        w.functional(fs, 0, 0)
+        assert fs.stat("/p0/big").size == before - 4096
+
+    def test_mwcm_creates_without_write(self):
+        """The artifact's MWCM variant omits the write (paper §5.2)."""
+        _dev, _kernel, fs = build_fs()
+        w = FXMARK["MWCM"]
+        w.prepare(fs, 2)
+        w.functional(fs, 0, 0)
+        created = [n for n in fs.readdir("/shared") if n.startswith("n0_")]
+        assert created and fs.stat(f"/shared/{created[0]}").size == 0
+
+
+class TestMicrobench:
+    @pytest.mark.parametrize("op", ["create", "open", "delete", "rename", "stat"])
+    def test_functional_ops(self, op):
+        _dev, _kernel, fs = build_fs(size=64 * 1024 * 1024, inode_count=2048)
+        m = METADATA_OPS[op]
+        m.prepare(fs, 1)
+        for i in range(4):
+            m.functional(fs, 0, i)
+
+    def test_open_is_five_deep(self):
+        ctx = METADATA_OPS["open"].op_ctx(0, 0, 1)
+        assert ctx["depth"] == 5
+
+
+class TestFio:
+    @pytest.mark.parametrize("name", sorted(FIO_WORKLOADS))
+    def test_functional(self, name):
+        _dev, _kernel, fs = build_fs(size=64 * 1024 * 1024, inode_count=256)
+        w = FIO_WORKLOADS[name]
+        w.prepare(fs, 1)
+        fd = fs.open("/fio0")
+        for i in range(8):
+            w.functional(fs, fd, 0, i)
+        fs.close(fd)
+
+    def test_ctx_is_data_op(self):
+        for w in FIO_WORKLOADS.values():
+            ctx = w.op_ctx(0, 0, 4)
+            assert ctx["op"] in ("read", "write")
+            assert ctx["size"] == 4096
+
+
+class TestFilebench:
+    def test_personalities_have_expected_mix(self):
+        ops = [s for s, _ in WEBPROXY.loop]
+        assert ops.count("open") == 5
+        assert ops.count("create") == 1
+        vops = [s for s, _ in VARMAIL.loop]
+        assert vops.count("fsync") == 2  # varmail is fsync-heavy
+
+    def test_sim_ctx_shared_adds_filename_locks(self):
+        sim = FILEBENCH_SIMS["webproxy-shared"]
+        ctx = sim.op_ctx(0, 0, 4)
+        assert "flock" in ctx
+        priv = FILEBENCH_SIMS["webproxy-private"]
+        assert "flock" not in priv.op_ctx(0, 0, 4)
+
+    @pytest.mark.parametrize("shared", [True, False], ids=["shared", "private"])
+    def test_engine_runs_multithreaded(self, shared):
+        _dev, kernel, fs = build_fs(size=64 * 1024 * 1024, inode_count=2048)
+        engine = FilebenchEngine(fs, PERSONALITIES["varmail"], nthreads=4,
+                                 shared=shared)
+        flowops = engine.run(loops_per_thread=4)
+        assert engine.loops == 16
+        assert flowops == 16 * len(VARMAIL.loop)
+        fs.release_all()
+        assert kernel.audit_tree() == []
+
+    def test_shared_engine_serializes_same_filename(self):
+        """Two threads hammering one file under the filename lock: no
+        lost updates, no crashes — the framework's fine-grained locking."""
+        import threading
+
+        _dev, _kernel, fs = build_fs(size=64 * 1024 * 1024, inode_count=512)
+        engine = FilebenchEngine(fs, PERSONALITIES["webproxy"], nthreads=2,
+                                 shared=True)
+        engine.prepare()
+        errors = []
+
+        def worker(tid):
+            try:
+                for i in range(6):
+                    engine.run_loop(tid, 0)  # iteration 0 -> same fileno
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        ts = [threading.Thread(target=worker, args=(t,)) for t in range(2)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        assert not errors
+
+
+class TestFxMarkDataOps:
+    def test_data_workloads_defined(self):
+        from repro.workloads.fxmark import DATA_WORKLOADS
+
+        assert set(DATA_WORKLOADS) == {"DRBL", "DRBM", "DWOL"}
+        for w in DATA_WORKLOADS.values():
+            assert w.is_data
+            ctx = w.op_ctx(0, 0, 4)
+            assert ctx["op"] in ("read", "write") and ctx["size"] == 4096
+
+    @pytest.mark.parametrize("name", ["DRBL", "DRBM", "DWOL"])
+    def test_functional(self, name):
+        from repro.workloads.fxmark import DATA_WORKLOADS
+
+        _dev, _kernel, fs = build_fs(size=64 * 1024 * 1024, inode_count=512)
+        w = DATA_WORKLOADS[name]
+        w.prepare(fs, 2)
+        for i in range(4):
+            w.functional(fs, 0, i)
+            w.functional(fs, 1, i)
+
+    def test_data_path_identical_across_variants(self):
+        """§5.2: ArckFS+ matches ArckFS on data ops (DES)."""
+        from repro.perf.runner import run_workload
+        from repro.workloads.fxmark import DATA_WORKLOADS
+
+        for w in DATA_WORKLOADS.values():
+            a = run_workload("arckfs", w, 8).mops
+            p = run_workload("arckfs+", w, 8).mops
+            assert abs(p / a - 1.0) < 0.02
+
+    def test_arckfs_beats_kernel_fs_on_data(self):
+        from repro.perf.runner import run_workload
+        from repro.workloads.fxmark import DATA_WORKLOADS
+
+        for w in DATA_WORKLOADS.values():
+            arck = run_workload("arckfs+", w, 48).mops
+            for fs_name in ("pmfs", "ext4", "nova"):
+                assert arck > run_workload(fs_name, w, 48).mops
