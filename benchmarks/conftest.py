@@ -1,8 +1,18 @@
-"""Benchmark-harness helpers: result persistence and common factories."""
+"""Benchmark-harness helpers: result persistence and common factories.
+
+Every bench test runs with the metrics registry enabled (tracing stays off:
+span collection allocates, counters do not perturb the DES's virtual-time
+numbers).  At teardown the registry snapshot is written next to the table
+output as ``benchmarks/results/<test>.metrics.json`` — the per-bench
+observability sidecar.
+"""
 
 import os
+import re
 
 import pytest
+
+from repro import obs
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -18,6 +28,26 @@ def save_and_print(name: str, text: str) -> None:
     print(f"[saved to {path}]")
 
 
+@pytest.fixture(autouse=True)
+def metrics_sidecar(request):
+    """Collect metrics during each bench and persist them as a sidecar."""
+    obs.reset()
+    obs.enable(trace=False)
+    yield
+    obs.disable()
+    snap = obs.metrics.snapshot()
+    obs.reset()
+    if not any(snap.values()):
+        return
+    safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    obs.write_snapshot(
+        os.path.join(RESULTS_DIR, f"{safe}.metrics.json"),
+        snap,
+        bench=request.node.nodeid,
+    )
+
+
 @pytest.fixture
 def arckfs_plus_fs():
     from repro.core.config import ARCKFS_PLUS
@@ -27,4 +57,10 @@ def arckfs_plus_fs():
 
     device = PMDevice(64 * 1024 * 1024, crash_tracking=False)
     kernel = KernelController.fresh(device, inode_count=4096, config=ARCKFS_PLUS)
-    return LibFS(kernel, "bench", uid=0, config=ARCKFS_PLUS)
+    fs = LibFS(kernel, "bench", uid=0, config=ARCKFS_PLUS)
+    yield fs
+    # Republish the functional-path device/kernel/libfs counters so the
+    # sidecar records them alongside whatever the bench itself counted.
+    obs.publish_stats("pm", device.stats)
+    obs.publish_stats("kernel", kernel.stats)
+    obs.publish_stats("libfs", fs.stats)

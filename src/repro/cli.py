@@ -10,6 +10,14 @@ Usage::
     python -m repro filebench
     python -m repro all
 
+Every table command accepts ``--json`` to emit the underlying data as JSON
+instead of the formatted table.  Two observability verbs run a *functional*
+workload (real LibFS + kernel controller, not the DES) with instrumentation
+enabled::
+
+    python -m repro trace fxmark:MWCL --out trace.json   # chrome://tracing
+    python -m repro metrics filebench:varmail            # counters + latency
+
 The pytest benches (``pytest benchmarks/ --benchmark-only``) run the same
 code with assertions against the paper's numbers; this CLI is the quick,
 assertion-free view.
@@ -18,22 +26,45 @@ assertion-free view.
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
-from typing import List
+from typing import Dict, List
 
 
-def cmd_table1(_args) -> None:
+def _emit(args, data, render) -> None:
+    """Print ``data`` as JSON when ``--json`` was given, else via ``render``."""
+    if getattr(args, "json", False):
+        print(json.dumps(data, indent=2, sort_keys=True))
+    else:
+        render(data)
+
+
+def cmd_table1(args) -> None:
     from repro.bugs import run_all
     from repro.core.config import ARCKFS, ARCKFS_PLUS
 
+    data: Dict[str, List[dict]] = {}
     for config in (ARCKFS, ARCKFS_PLUS):
-        print(f"==== {config.name} ====")
-        for outcome in run_all(config):
-            print(f"  {outcome}")
-        print()
+        outcomes = run_all(config)
+        data[config.name] = [
+            dataclasses.asdict(o) if dataclasses.is_dataclass(o)
+            else {"outcome": str(o)}
+            for o in outcomes
+        ]
+        data[config.name + ".rendered"] = [str(o) for o in outcomes]
+
+    def render(d):
+        for name in (ARCKFS.name, ARCKFS_PLUS.name):
+            print(f"==== {name} ====")
+            for line in d[name + ".rendered"]:
+                print(f"  {line}")
+            print()
+
+    _emit(args, data, render)
 
 
-def cmd_fig3(_args) -> None:
+def cmd_fig3(args) -> None:
     from repro.perf.runner import run_workload
     from repro.perf.stats import format_table
     from repro.workloads.microbench import METADATA_OPS
@@ -43,24 +74,38 @@ def cmd_fig3(_args) -> None:
     ops = ["create", "open", "delete", "rename", "stat", "read-4k", "write-4k"]
     table = {fs: {op: run_workload(fs, METADATA_OPS[op], 1).mops for op in ops}
              for fs in systems}
-    print(format_table("Figure 3: single-thread metadata throughput",
-                       "fs", ops, table, unit="Mops/s"))
+
+    def render(t):
+        print(format_table("Figure 3: single-thread metadata throughput",
+                           "fs", ops, t, unit="Mops/s"))
+
+    _emit(args, table, render)
 
 
-def cmd_table2(_args) -> None:
+def cmd_table2(args) -> None:
     from repro.perf.runner import run_workload
     from repro.perf.stats import geomean
     from repro.workloads.fxmark import FXMARK, METADATA_WORKLOADS
 
-    print(f"{'workload':<8}{'ArckFS':>10}{'ArckFS+':>10}{'ratio':>9}")
-    ratios: List[float] = []
+    rows = []
     for name in METADATA_WORKLOADS:
         a = run_workload("arckfs", FXMARK[name], 48).mops
         p = run_workload("arckfs+", FXMARK[name], 48).mops
-        ratios.append(p / a)
-        print(f"{name:<8}{a:>10.2f}{p:>10.2f}{p / a * 100:>8.2f}%")
-    print(f"{'geomean':<8}{'':>20}{geomean(ratios) * 100:>8.2f}%  "
-          f"(paper: 97.23%)")
+        rows.append({"workload": name, "arckfs_mops": a,
+                     "arckfs_plus_mops": p, "ratio_pct": p / a * 100.0})
+    data = {"rows": rows,
+            "geomean_pct": geomean(r["ratio_pct"] / 100.0 for r in rows) * 100.0,
+            "paper_geomean_pct": 97.23}
+
+    def render(d):
+        print(f"{'workload':<8}{'ArckFS':>10}{'ArckFS+':>10}{'ratio':>9}")
+        for r in d["rows"]:
+            print(f"{r['workload']:<8}{r['arckfs_mops']:>10.2f}"
+                  f"{r['arckfs_plus_mops']:>10.2f}{r['ratio_pct']:>8.2f}%")
+        print(f"{'geomean':<8}{'':>20}{d['geomean_pct']:>8.2f}%  "
+              f"(paper: {d['paper_geomean_pct']}%)")
+
+    _emit(args, data, render)
 
 
 def cmd_fig4(args) -> None:
@@ -71,59 +116,173 @@ def cmd_fig4(args) -> None:
     threads = [int(t) for t in args.threads.split(",")]
     systems = ["arckfs+", "arckfs", "ext4", "pmfs", "nova", "odinfs",
                "winefs", "splitfs", "strata"]
-    for name in METADATA_WORKLOADS:
-        result = sweep(systems, FXMARK[name], threads, horizon_ns=500_000.0)
-        print(format_table(f"{name}: {FXMARK[name].description}", "fs",
-                           threads, result, unit="Mops/s"))
-        print()
+    data = {name: sweep(systems, FXMARK[name], threads, horizon_ns=500_000.0)
+            for name in METADATA_WORKLOADS}
+
+    def render(d):
+        for name, result in d.items():
+            print(format_table(f"{name}: {FXMARK[name].description}", "fs",
+                               threads, result, unit="Mops/s"))
+            print()
+
+    _emit(args, data, render)
 
 
-def cmd_table4(_args) -> None:
+def cmd_table4(args) -> None:
     from repro.workloads.sharing import table4
 
-    print(f"{'scenario':<16}{'system':<24}{'value':>10}")
-    for cell in table4():
-        print(f"{cell.scenario:<16}{cell.system:<24}{cell.value:>8.2f} {cell.unit}")
+    cells = table4()
+    data = [dataclasses.asdict(c) if dataclasses.is_dataclass(c) else vars(c)
+            for c in cells]
+
+    def render(_d):
+        print(f"{'scenario':<16}{'system':<24}{'value':>10}")
+        for cell in cells:
+            print(f"{cell.scenario:<16}{cell.system:<24}"
+                  f"{cell.value:>8.2f} {cell.unit}")
+
+    _emit(args, data, render)
 
 
-def cmd_filebench(_args) -> None:
+def cmd_filebench(args) -> None:
     from repro.perf.runner import run_workload
     from repro.workloads.filebench import FILEBENCH_SIMS
 
+    rows = []
     for name, workload in FILEBENCH_SIMS.items():
         for threads in (1, 16):
             a = run_workload("arckfs", workload, threads).mops
             p = run_workload("arckfs+", workload, threads).mops
-            print(f"{name:<20} @{threads:>2} threads: "
-                  f"arckfs={a:7.3f} arckfs+={p:7.3f} Mops  "
-                  f"ratio={p / a * 100:6.2f}%")
+            rows.append({"workload": name, "threads": threads,
+                         "arckfs_mops": a, "arckfs_plus_mops": p,
+                         "ratio_pct": p / a * 100.0})
+
+    def render(d):
+        for r in d:
+            print(f"{r['workload']:<20} @{r['threads']:>2} threads: "
+                  f"arckfs={r['arckfs_mops']:7.3f} "
+                  f"arckfs+={r['arckfs_plus_mops']:7.3f} Mops  "
+                  f"ratio={r['ratio_pct']:6.2f}%")
+
+    _emit(args, rows, render)
 
 
-COMMANDS = {
-    "table1": cmd_table1,
-    "fig3": cmd_fig3,
-    "table2": cmd_table2,
-    "fig4": cmd_fig4,
-    "table4": cmd_table4,
-    "filebench": cmd_filebench,
+def cmd_trace(args) -> None:
+    from repro import obs
+    from repro.obs.driver import run_observed
+
+    run = run_observed(args.workload, threads=args.threads,
+                       ops_per_thread=args.ops, fs=args.fs, trace=True)
+    if args.format == "chrome":
+        obs.tracer.write_chrome(args.out, process_name=f"repro:{args.workload}")
+    else:
+        obs.tracer.write_jsonl(args.out)
+    n = len(obs.tracer.events())
+    print(f"{args.workload}: {run.ops} ops on {args.threads} thread(s), "
+          f"{run.ops_per_sec:,.0f} ops/s")
+    print(f"wrote {n} trace events to {args.out} ({args.format})")
+    if args.format == "chrome":
+        print("open chrome://tracing (or https://ui.perfetto.dev) and load it")
+
+
+def cmd_metrics(args) -> None:
+    from repro import obs
+    from repro.obs.driver import run_observed
+    from repro.obs.metrics import format_snapshot
+
+    run = run_observed(args.workload, threads=args.threads,
+                       ops_per_thread=args.ops, fs=args.fs)
+    if args.json:
+        print(json.dumps({"workload": args.workload, "fs": args.fs,
+                          "threads": args.threads, "ops": run.ops,
+                          "metrics": run.metrics},
+                         indent=2, sort_keys=True))
+    else:
+        print(format_snapshot(run.metrics,
+                              title=f"{args.workload} on {args.fs}"))
+
+
+TABLE_COMMANDS = {
+    "table1": (cmd_table1, "Table 1: the six bugs, both configurations"),
+    "fig3": (cmd_fig3, "Figure 3: single-thread metadata throughput"),
+    "table2": (cmd_table2, "Table 2: ArckFS+/ArckFS @48 threads + geomean"),
+    "fig4": (cmd_fig4, "Figure 4: scalability sweep"),
+    "table4": (cmd_table4, "Table 4: sharing cost"),
+    "filebench": (cmd_filebench, "Filebench personalities, 1 and 16 threads"),
 }
 
+#: Order ``all`` runs in (kept from the original flat CLI).
+ALL_ORDER = ("table1", "fig3", "table2", "fig4", "filebench", "table4")
 
-def main(argv=None) -> int:
+
+def _add_workload_options(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("workload",
+                     help="workload spec: fxmark:<NAME> (e.g. fxmark:MWCL) "
+                          "or filebench:<personality>[-shared|-private]")
+    sub.add_argument("--threads", type=int, default=1,
+                     help="worker threads (default 1)")
+    sub.add_argument("--ops", type=int, default=64,
+                     help="operations per thread (default 64)")
+    sub.add_argument("--fs", choices=["arckfs", "arckfs+"], default="arckfs+",
+                     help="configuration to run under (default arckfs+)")
+
+
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate tables/figures of the ArckFS+ paper.",
     )
-    parser.add_argument("what", choices=sorted(COMMANDS) + ["all"])
-    parser.add_argument("--threads", default="1,4,16,48",
-                        help="thread sweep for fig4 (comma separated)")
+    subs = parser.add_subparsers(dest="what", required=True)
+
+    for name, (fn, help_text) in TABLE_COMMANDS.items():
+        sub = subs.add_parser(name, help=help_text)
+        sub.add_argument("--json", action="store_true",
+                         help="emit the table data as JSON")
+        if name == "fig4":
+            sub.add_argument("--threads", default="1,4,16,48",
+                             help="thread sweep (comma separated)")
+        sub.set_defaults(fn=fn)
+
+    sub_all = subs.add_parser("all", help="run every table command in order")
+    sub_all.add_argument("--threads", default="1,4,16,48",
+                         help="thread sweep for fig4 (comma separated)")
+    sub_all.set_defaults(fn=None, json=False)
+
+    trace = subs.add_parser(
+        "trace", help="run a workload with span tracing, write a trace file")
+    _add_workload_options(trace)
+    trace.add_argument("--out", default="trace.json",
+                       help="output path (default trace.json)")
+    trace.add_argument("--format", choices=["chrome", "jsonl"],
+                       default="chrome",
+                       help="chrome://tracing JSON (default) or JSON lines")
+    trace.set_defaults(fn=cmd_trace)
+
+    metrics = subs.add_parser(
+        "metrics", help="run a workload with metrics, print the registry")
+    _add_workload_options(metrics)
+    metrics.add_argument("--json", action="store_true",
+                         help="emit the metrics snapshot as JSON")
+    metrics.set_defaults(fn=cmd_metrics)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    from repro.errors import InvalidArgument
+
+    parser = build_parser()
     args = parser.parse_args(argv)
-    if args.what == "all":
-        for name in ("table1", "fig3", "table2", "fig4", "filebench", "table4"):
-            print(f"\n######## {name} ########")
-            COMMANDS[name](args)
-    else:
-        COMMANDS[args.what](args)
+    try:
+        if args.what == "all":
+            for name in ALL_ORDER:
+                print(f"\n######## {name} ########")
+                TABLE_COMMANDS[name][0](args)
+        else:
+            args.fn(args)
+    except InvalidArgument as exc:
+        print(f"error: {exc.strerror or exc}", file=sys.stderr)
+        return 2
     return 0
 
 

@@ -33,6 +33,8 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Dict, Optional
 
+from repro import obs
+
 
 class FailpointRegistry:
     """A process-wide registry of named hooks."""
@@ -48,6 +50,8 @@ class FailpointRegistry:
 
     def hit(self, name: str, ctx: Any = None) -> None:
         """Invoke the hook for ``name`` if one is installed."""
+        if obs.enabled:
+            obs.metrics.counter("failpoints.hit", name=name).inc()
         hook = self._hooks.get(name)
         if hook is None:
             return

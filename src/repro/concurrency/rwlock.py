@@ -11,7 +11,10 @@ so release (which takes the write lock in ArckFS+) cannot be starved.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Optional, Set
+
+from repro import obs
 
 
 class RWLock:
@@ -37,6 +40,7 @@ class RWLock:
                 raise RuntimeError(f"{self.name}: read-acquire while holding write lock")
             if me in self._readers:
                 raise RuntimeError(f"{self.name}: non-reentrant read lock re-acquired")
+            start = time.perf_counter_ns() if obs.enabled else 0
             ok = self._cond.wait_for(
                 lambda: self._writer is None and self._writers_waiting == 0,
                 timeout=timeout,
@@ -45,6 +49,8 @@ class RWLock:
                 return False
             self._readers.add(me)
             self.read_acquisitions += 1
+            if obs.enabled:
+                obs.lock_wait("rw_read", time.perf_counter_ns() - start)
             return True
 
     def release_read(self) -> None:
@@ -65,6 +71,7 @@ class RWLock:
             if self._writer == me:
                 raise RuntimeError(f"{self.name}: non-reentrant write lock re-acquired")
             self._writers_waiting += 1
+            start = time.perf_counter_ns() if obs.enabled else 0
             try:
                 ok = self._cond.wait_for(
                     lambda: self._writer is None and not self._readers,
@@ -74,6 +81,8 @@ class RWLock:
                     return False
                 self._writer = me
                 self.write_acquisitions += 1
+                if obs.enabled:
+                    obs.lock_wait("rw_write", time.perf_counter_ns() - start)
                 return True
             finally:
                 self._writers_waiting -= 1

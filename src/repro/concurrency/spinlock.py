@@ -14,7 +14,10 @@ error instead).
 from __future__ import annotations
 
 import threading
+import time
 from typing import Optional
+
+from repro import obs
 
 
 class SpinLock:
@@ -31,14 +34,21 @@ class SpinLock:
         me = threading.get_ident()
         if self._owner == me:
             raise RuntimeError(f"{self.name}: non-reentrant lock re-acquired by owner")
+        start = time.perf_counter_ns() if obs.enabled else 0
         if not self._lock.acquire(blocking=False):
             self.contended += 1
+            obs.count("lock.contended", kind="spin")
             if timeout is None:
                 self._lock.acquire()
             elif not self._lock.acquire(timeout=timeout):
+                if obs.enabled:
+                    obs.count("lock.wait_ns", time.perf_counter_ns() - start,
+                              kind="spin")
                 return False
         self._owner = me
         self.acquisitions += 1
+        if obs.enabled:
+            obs.lock_wait("spin", time.perf_counter_ns() - start)
         return True
 
     def release(self) -> None:

@@ -20,6 +20,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.concurrency.lease import Lease
 from repro.core.config import ARCKFS_PLUS, ArckConfig
 from repro.core.corestate import CoreState
@@ -288,6 +289,7 @@ class KernelController:
 
     def alloc_inode(self, app_id: str) -> Tuple[int, int]:
         """Hand a free inode slot (and its next generation) to an app."""
+        obs.kernel_crossing("inode_alloc")
         with self._lock:
             self._require_app(app_id)
             if not self.free_inodes:
@@ -301,6 +303,7 @@ class KernelController:
 
     def abort_inode(self, app_id: str, ino: int) -> None:
         """Return a pending (never linked) inode slot, unmapping if needed."""
+        obs.kernel_crossing("inode_alloc")
         with self._lock:
             pend = self.pending.get(ino)
             if pend is None or pend.owner != app_id:
@@ -317,6 +320,7 @@ class KernelController:
 
     def acquire(self, app_id: str, ino: int, write: bool = True) -> Mapping:
         """Grant ``app_id`` ownership of ``ino`` and map its core state."""
+        obs.kernel_crossing("mmap")
         with self._lock:
             app = self._require_app(app_id)
             sh = self.shadow.get(ino)
@@ -382,6 +386,7 @@ class KernelController:
         raised; the mapping stays valid but the LibFS must rebuild its
         auxiliary state from the (possibly rolled back) core state.
         """
+        obs.kernel_crossing("verification")
         with self._lock:
             acq = self._require_acquisition(app_id, ino)
             self._verify_and_apply(acq, app_id)
@@ -390,6 +395,7 @@ class KernelController:
 
     def release(self, app_id: str, ino: int) -> None:
         """Voluntary release: verify, update shadow, unmap."""
+        obs.kernel_crossing("ownership_transfer")
         with self._lock:
             acq = self._require_acquisition(app_id, ino)
             app = self.apps[app_id]
@@ -427,6 +433,7 @@ class KernelController:
         mapping raises SimulatedBusError (it "may crash", §4.3) and the
         core state is verified/rolled back like any other release.
         """
+        obs.kernel_crossing("ownership_transfer")
         with self._lock:
             acq = self.acquisitions.get(ino)
             if acq is None:
@@ -452,11 +459,13 @@ class KernelController:
         return f"{app_id}/{threading.get_ident()}"
 
     def rename_lock_acquire(self, app_id: str, timeout: float = 2.0) -> None:
+        obs.kernel_crossing("rename_lease")
         self._require_app(app_id)
         if not self.rename_lease.acquire(self._lease_holder(app_id), timeout=timeout):
             raise TryAgain("global rename lease unavailable")
 
     def rename_lock_release(self, app_id: str) -> None:
+        obs.kernel_crossing("rename_lease")
         self.rename_lease.release(self._lease_holder(app_id))
 
     def rename_lock_held(self, app_id: str) -> bool:
@@ -491,6 +500,7 @@ class KernelController:
                 # reference it — refuse without resolution so the app can
                 # retry in the right order (cf. Figure 2).
                 raise CorruptionDetected(vf.ino, vf.reason) from vf
+            obs.kernel_crossing("corruption_resolution")
             self.policy.resolve(self, acq.ino, acq.snapshot, vf.reason)
             raise CorruptionDetected(vf.ino, vf.reason) from vf
         self._apply(staged)
@@ -503,6 +513,7 @@ class KernelController:
         try:
             staged = self.verifier.verify(ino, None)
         except VerifyFailure as vf:
+            obs.kernel_crossing("corruption_resolution")
             self.policy.resolve(self, ino, snapshot, vf.reason)
             sh.trusted_dirty_group = None
             raise CorruptionDetected(vf.ino, vf.reason) from vf

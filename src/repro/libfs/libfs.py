@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.concurrency.failpoints import failpoints
+from repro.obs.instrument import traced_syscall
 from repro.concurrency.lease import LeaseExpired
 from repro.concurrency.rcu import RCU
 from repro.core.config import ArckConfig
@@ -345,6 +346,7 @@ class LibFS:
             self._inodes[ino] = child
         return child
 
+    @traced_syscall("creat")
     def creat(self, path: str, mode: int = 0o664) -> int:
         """Create a regular file; returns a writable file descriptor."""
         path = paths.normalize(path)
@@ -352,6 +354,7 @@ class LibFS:
         self.stats.creates += 1
         return self.fdtable.install(child, path).fd
 
+    @traced_syscall("mkdir")
     def mkdir(self, path: str, mode: int = 0o775) -> None:
         path = paths.normalize(path)
         self._create_common(path, mode, ITYPE_DIR)
@@ -361,6 +364,7 @@ class LibFS:
     # Open / close / stat / readdir
     # ================================================================== #
 
+    @traced_syscall("open")
     def open(self, path: str, create: bool = False, mode: int = 0o664) -> int:
         path = paths.normalize(path)
         parent, name = self._resolve_parent(path)
@@ -376,9 +380,11 @@ class LibFS:
         self.stats.opens += 1
         return self.fdtable.install(mi, path).fd
 
+    @traced_syscall("close")
     def close(self, fd: int) -> None:
         self.fdtable.close(fd)
 
+    @traced_syscall("stat")
     def stat(self, path: str) -> StatResult:
         path = paths.normalize(path)
         self.stats.stats_ += 1
@@ -397,6 +403,7 @@ class LibFS:
             uid=mi.uid, gen=mi.gen,
         )
 
+    @traced_syscall("readdir")
     def readdir(self, path: str) -> List[str]:
         mi = self._resolve_dir(paths.normalize(path))
         if not mi.is_dir:
@@ -421,6 +428,7 @@ class LibFS:
             raise IsADir(entry.path)
         return mi
 
+    @traced_syscall("pwrite")
     def pwrite(self, fd: int, data: bytes, offset: int) -> int:
         entry = self.fdtable.get(fd)
         mi = self._ensure_file(entry)
@@ -461,6 +469,7 @@ class LibFS:
         finally:
             mi.rwlock.release_write()
 
+    @traced_syscall("pread")
     def pread(self, fd: int, n: int, offset: int) -> bytes:
         entry = self.fdtable.get(fd)
         mi = self._ensure_file(entry)
@@ -475,12 +484,14 @@ class LibFS:
         finally:
             mi.rwlock.release_read()
 
+    @traced_syscall("write")
     def write(self, fd: int, data: bytes) -> int:
         """Write at the file offset (sequential write)."""
         entry = self.fdtable.get(fd)
         off = entry.advance(len(data))
         return self.pwrite(fd, data, off)
 
+    @traced_syscall("read")
     def read(self, fd: int, n: int) -> bytes:
         entry = self.fdtable.get(fd)
         off = entry.advance(0)
@@ -493,6 +504,7 @@ class LibFS:
         with entry._offset_lock:
             entry.offset = offset
 
+    @traced_syscall("truncate")
     def truncate(self, path: str, size: int) -> None:
         """Shrink (or logically extend) a file to ``size`` bytes."""
         path = paths.normalize(path)
@@ -540,6 +552,7 @@ class LibFS:
             self.alloc.free(page_no)
         mi.pages = mi.pages[:keep]
 
+    @traced_syscall("fsync")
     def fsync(self, fd: int) -> None:
         """Returns immediately: every operation already persisted (§2.2)."""
         self.fdtable.get(fd)
@@ -549,6 +562,7 @@ class LibFS:
     # Unlink / rmdir
     # ================================================================== #
 
+    @traced_syscall("unlink")
     def unlink(self, path: str) -> None:
         path = paths.normalize(path)
         parent, name = self._resolve_parent(path)
@@ -592,6 +606,7 @@ class LibFS:
         with self._inodes_lock:
             self._inodes.pop(ino, None)
 
+    @traced_syscall("rmdir")
     def rmdir(self, path: str) -> None:
         path = paths.normalize(path)
         if path == "/":
@@ -634,6 +649,7 @@ class LibFS:
     # Rename (§3.2 rules, §4.1/§4.6 patches)
     # ================================================================== #
 
+    @traced_syscall("rename")
     def rename(self, oldpath: str, newpath: str) -> None:
         oldpath = paths.normalize(oldpath)
         newpath = paths.normalize(newpath)
@@ -766,6 +782,7 @@ class LibFS:
             raise NoEntry(path)
         return node.ino
 
+    @traced_syscall("commit_path")
     def commit_path(self, path: str) -> None:
         """Verify the inode in place, retaining ownership ([21, §4.3])."""
         ino = self._path_ino(path)
@@ -776,9 +793,11 @@ class LibFS:
             self._invalidate_aux(ino)
             raise
 
+    @traced_syscall("release_path")
     def release_path(self, path: str) -> None:
         self.release_ino(self._path_ino(path))
 
+    @traced_syscall("release_ino")
     def release_ino(self, ino: int) -> None:
         """Voluntary release (§4.3 — the patch changes everything here)."""
         with self._inodes_lock:

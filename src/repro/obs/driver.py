@@ -1,0 +1,196 @@
+"""Run a functional workload under full observation.
+
+This is the engine behind ``python -m repro trace`` and ``python -m repro
+metrics``: build a fresh ArckFS(+) stack, prepare the workload fileset
+*outside* the measured window, then run the per-thread op loop with
+observability enabled and publish every layer's stats delta into the
+metrics registry.
+
+Workload specs:
+
+* ``fxmark:<NAME>`` — any Table 3 metadata workload (``MWCL``, ``MRPM``,
+  ...) or data workload (``DRBL``, ``DWOL``, ...);
+* ``filebench:<personality>[-shared|-private]`` — ``varmail`` or
+  ``webproxy`` via the functional flowop engine (default ``-shared``, the
+  paper's new framework).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional
+
+from repro import obs
+from repro.core.config import ARCKFS, ARCKFS_PLUS, ArckConfig
+from repro.errors import InvalidArgument
+from repro.kernel.controller import KernelController
+from repro.libfs.libfs import LibFS
+from repro.pm.device import PMDevice
+
+CONFIGS: Dict[str, ArckConfig] = {"arckfs": ARCKFS, "arckfs+": ARCKFS_PLUS}
+
+
+@dataclass
+class WorkloadDriver:
+    """A resolved workload: prepare once, then run (tid, i) op steps."""
+
+    name: str
+    prepare: Callable[[LibFS, int], None]
+    step: Callable[[LibFS, int, int], None]
+
+
+def resolve(spec: str) -> WorkloadDriver:
+    """Map a ``family:name`` spec to a functional driver."""
+    family, sep, name = spec.partition(":")
+    if not sep or not name:
+        raise InvalidArgument(
+            f"workload spec {spec!r} is not of the form "
+            "'fxmark:<NAME>' or 'filebench:<personality>[-shared|-private]'"
+        )
+    if family == "fxmark":
+        from repro.workloads.fxmark import DATA_WORKLOADS, FXMARK
+
+        wl = FXMARK.get(name.upper()) or DATA_WORKLOADS.get(name.upper())
+        if wl is None:
+            known = sorted(FXMARK) + sorted(DATA_WORKLOADS)
+            raise InvalidArgument(
+                f"unknown fxmark workload {name!r}; known: {', '.join(known)}"
+            )
+        return WorkloadDriver(f"fxmark:{wl.name}", wl.prepare, wl.functional)
+    if family == "filebench":
+        from repro.workloads.filebench import PERSONALITIES, FilebenchEngine
+
+        pname, _, variant = name.partition("-")
+        personality = PERSONALITIES.get(pname)
+        if personality is None or variant not in ("", "shared", "private"):
+            raise InvalidArgument(
+                f"unknown filebench spec {name!r}; known: "
+                + ", ".join(f"{p}[-shared|-private]" for p in sorted(PERSONALITIES))
+            )
+        shared = variant != "private"
+        engine_box: List[FilebenchEngine] = []
+
+        def prepare(fs: LibFS, nthreads: int) -> None:
+            engine = FilebenchEngine(fs, personality, nthreads=nthreads,
+                                     shared=shared)
+            engine.prepare()
+            engine_box.append(engine)
+
+        def step(fs: LibFS, tid: int, i: int) -> None:
+            engine_box[0].run_loop(tid, i)
+
+        suffix = "shared" if shared else "private"
+        return WorkloadDriver(f"filebench:{pname}-{suffix}", prepare, step)
+    raise InvalidArgument(
+        f"unknown workload family {family!r}; known: fxmark, filebench"
+    )
+
+
+@dataclass
+class ObservedRun:
+    """The result of one observed functional run."""
+
+    spec: str
+    fs: str
+    threads: int
+    ops: int
+    wall_ns: int
+    metrics: Dict[str, Dict]
+
+    @property
+    def ops_per_sec(self) -> float:
+        return self.ops / (self.wall_ns / 1e9) if self.wall_ns else 0.0
+
+
+def run_observed(
+    spec: str,
+    *,
+    threads: int = 1,
+    ops_per_thread: int = 64,
+    fs: str = "arckfs+",
+    trace: bool = False,
+    config: Optional[ArckConfig] = None,
+) -> ObservedRun:
+    """Build a stack, run ``spec`` observed, return metrics (and fill the
+    global tracer when ``trace``)."""
+    if config is None:
+        config = CONFIGS.get(fs)
+        if config is None:
+            raise InvalidArgument(
+                f"unknown fs {fs!r}; known: {', '.join(sorted(CONFIGS))}"
+            )
+    driver = resolve(spec)
+    total_ops = threads * ops_per_thread
+    device = PMDevice(
+        64 * 1024 * 1024 + total_ops * 8192, crash_tracking=False
+    )
+    inode_count = max(4096, 2 * total_ops + 512)
+    kernel = KernelController.fresh(device, inode_count=inode_count, config=config)
+    libfs = LibFS(kernel, "obs", uid=0, config=config)
+
+    driver.prepare(libfs, threads)
+
+    pm_before = device.stats.snapshot()
+    kernel_before = replace(kernel.stats)
+    libfs_before = replace(libfs.stats)
+
+    was_enabled = obs.enabled
+    obs.reset()
+    obs.enable(trace=trace)
+    start = time.perf_counter_ns()
+    try:
+        _run_threads(driver, libfs, threads, ops_per_thread)
+    finally:
+        wall_ns = time.perf_counter_ns() - start
+        if not was_enabled:
+            obs.disable()
+
+    obs.publish_stats("pm", device.stats.diff(pm_before))
+    obs.publish_stats("kernel", obs.stats_diff(kernel.stats, kernel_before))
+    obs.publish_stats("libfs", obs.stats_diff(libfs.stats, libfs_before))
+    # Make sure the headline counters exist even when a run never touched
+    # them (e.g. a pure-LibFS workload has zero kernel crossings — that
+    # zero IS the paper's architectural claim, so print it).
+    obs.metrics.counter("kernel.crossings")
+    obs.metrics.counter("lock.wait_ns")
+    obs.metrics.counter("pm.fences")
+    obs.metrics.gauge("run.threads").set(threads)
+    obs.metrics.gauge("run.ops").set(total_ops)
+    obs.metrics.gauge("run.wall_ns").set(wall_ns)
+    if wall_ns:
+        obs.metrics.gauge("run.ops_per_sec").set(total_ops / (wall_ns / 1e9))
+
+    return ObservedRun(
+        spec=driver.name,
+        fs=config.name,
+        threads=threads,
+        ops=total_ops,
+        wall_ns=wall_ns,
+        metrics=obs.metrics.snapshot(),
+    )
+
+
+def _run_threads(driver: WorkloadDriver, libfs: LibFS, threads: int,
+                 ops_per_thread: int) -> None:
+    if threads == 1:
+        for i in range(ops_per_thread):
+            driver.step(libfs, 0, i)
+        return
+    errors: List[BaseException] = []
+
+    def worker(tid: int) -> None:
+        try:
+            for i in range(ops_per_thread):
+                driver.step(libfs, tid, i)
+        except BaseException as exc:  # noqa: BLE001 - surfaced to caller
+            errors.append(exc)
+
+    workers = [threading.Thread(target=worker, args=(tid,)) for tid in range(threads)]
+    for t in workers:
+        t.start()
+    for t in workers:
+        t.join()
+    if errors:
+        raise errors[0]

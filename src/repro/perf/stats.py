@@ -33,15 +33,20 @@ def format_table(
     """Render a rows×columns table the way the paper prints its results."""
     out: List[str] = []
     out.append(f"== {title}{' (' + unit + ')' if unit else ''} ==")
-    header = f"{col_header:<12}" + "".join(f"{str(c):>11}" for c in columns)
+    # Column width follows the fmt string (probe it with a sample value) so
+    # header, data cells and the missing-value placeholder all line up even
+    # for non-default formats.
+    col_width = max(len(fmt.format(0)) + 1, 11)
+    placeholder = "--".rjust(col_width)
+    header = f"{col_header:<12}" + "".join(f"{str(c):>{col_width}}" for c in columns)
     out.append(header)
     out.append("-" * len(header))
     for name, series in rows.items():
         cells = []
         for c in columns:
             v = series.get(c)
-            cells.append(fmt.format(v) if v is not None else " " * 9 + "--")
-        out.append(f"{name:<12}" + "".join(f"{cell:>11}" for cell in cells))
+            cells.append(fmt.format(v) if v is not None else placeholder)
+        out.append(f"{name:<12}" + "".join(f"{cell:>{col_width}}" for cell in cells))
     return "\n".join(out)
 
 

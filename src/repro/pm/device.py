@@ -22,7 +22,7 @@ file-system code, so serialising the device itself hides nothing relevant.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import PersistOrderError
@@ -44,26 +44,22 @@ class PMStats:
     ntstores: int = 0
 
     def snapshot(self) -> "PMStats":
-        return PMStats(
-            loads=self.loads,
-            stores=self.stores,
-            bytes_loaded=self.bytes_loaded,
-            bytes_stored=self.bytes_stored,
-            clwbs=self.clwbs,
-            fences=self.fences,
-            ntstores=self.ntstores,
-        )
+        """An independent copy of the current counter values."""
+        return replace(self)
 
-    def delta(self, earlier: "PMStats") -> "PMStats":
-        return PMStats(
-            loads=self.loads - earlier.loads,
-            stores=self.stores - earlier.stores,
-            bytes_loaded=self.bytes_loaded - earlier.bytes_loaded,
-            bytes_stored=self.bytes_stored - earlier.bytes_stored,
-            clwbs=self.clwbs - earlier.clwbs,
-            fences=self.fences - earlier.fences,
-            ntstores=self.ntstores - earlier.ntstores,
-        )
+    def diff(self, earlier: "PMStats") -> "PMStats":
+        """Field-wise ``self - earlier`` — the per-workload delta that
+        metrics snapshots are built from."""
+        return PMStats(**{
+            f.name: getattr(self, f.name) - getattr(earlier, f.name)
+            for f in fields(self)
+        })
+
+    #: historical name for :meth:`diff`.
+    delta = diff
+
+    def as_dict(self) -> Dict[str, int]:
+        return asdict(self)
 
 
 @dataclass

@@ -1,7 +1,8 @@
-"""Shared fixtures: failpoint hygiene and common FS factories."""
+"""Shared fixtures: failpoint/observability hygiene and common FS factories."""
 
 import pytest
 
+from repro import obs
 from repro.concurrency.failpoints import failpoints
 from repro.core.config import ARCKFS, ARCKFS_PLUS
 from repro.kernel.controller import KernelController
@@ -15,6 +16,16 @@ def clean_failpoints():
     failpoints.clear()
     yield
     failpoints.clear()
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Observability is process-global too; tests start disabled and empty."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
 
 
 def build_fs(config=ARCKFS_PLUS, size=16 * 1024 * 1024, inode_count=256, uid=1000):

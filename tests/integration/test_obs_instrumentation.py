@@ -1,0 +1,220 @@
+"""Integration tests: the observability layer against the real stack.
+
+The headline regression here is the paper's architectural claim itself:
+once a LibFS owns a file, data-path operations never enter the kernel —
+``kernel.crossings`` must stay exactly zero across a pread/pwrite loop,
+and must rise as soon as ownership moves (release / re-acquire).
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.driver import ObservedRun, resolve, run_observed
+from repro.errors import InvalidArgument
+
+
+def _crossings() -> int:
+    return obs.metrics.counter_total("kernel.crossings")
+
+
+# --------------------------------------------------------------------------- #
+# The zero-crossing invariant
+# --------------------------------------------------------------------------- #
+
+
+def test_pure_data_path_has_zero_kernel_crossings(fs):
+    fd = fs.creat("/data.bin")
+    fs.pwrite(fd, b"x" * 4096, 0)  # first write attaches + allocates
+
+    obs.reset()
+    obs.enable()
+    before = _crossings()
+    for i in range(32):
+        fs.pwrite(fd, bytes([i % 256]) * 512, (i % 8) * 512)
+        assert len(fs.pread(fd, 512, (i % 8) * 512)) == 512
+    obs.disable()
+
+    assert _crossings() - before == 0, (
+        "data-path ops on an owned file must not enter the kernel"
+    )
+    # ...but the LibFS itself saw and timed every syscall.
+    snap = obs.metrics.snapshot()
+    assert snap["counters"]["libfs.syscall.count{op=pwrite}"] == 32
+    assert snap["counters"]["libfs.syscall.count{op=pread}"] == 32
+    assert snap["histograms"]["libfs.syscall.ns"]["count"] == 64
+
+
+def test_ownership_transfer_crosses_the_kernel(fs):
+    fd = fs.creat("/shared.bin")
+    fs.pwrite(fd, b"y" * 1024, 0)
+    fs.close(fd)
+    fs.commit_path("/")                   # register the new file (Rule 1)
+
+    obs.reset()
+    obs.enable()
+    fs.release_path("/shared.bin")        # ownership back to the kernel
+    fd = fs.open("/shared.bin")           # re-acquire → mmap crossing
+    assert fs.pread(fd, 4, 0) == b"yyyy"
+    obs.disable()
+
+    assert _crossings() > 0
+    snap = obs.metrics.snapshot()["counters"]
+    assert snap.get("kernel.crossings{reason=ownership_transfer}", 0) >= 1
+    assert snap.get("kernel.crossings{reason=mmap}", 0) >= 1
+
+
+def test_syscall_latency_histograms_populated(fs):
+    obs.reset()
+    obs.enable()
+    fd = fs.creat("/lat.bin")
+    fs.pwrite(fd, b"z" * 256, 0)
+    fs.close(fd)
+    obs.disable()
+
+    hists = obs.metrics.snapshot()["histograms"]
+    for op in ("creat", "pwrite", "close"):
+        summary = hists[f"libfs.syscall.{op}.ns"]
+        assert summary["count"] == 1
+        assert summary["p50"] > 0
+    agg = hists["libfs.syscall.ns"]
+    assert agg["count"] == 3
+    assert agg["p99"] >= agg["p50"] > 0
+
+
+def test_lock_and_failpoint_metrics_surface(fs):
+    obs.reset()
+    obs.enable()
+    fd = fs.creat("/locks.bin")
+    fs.pwrite(fd, b"a" * 128, 0)
+    obs.disable()
+
+    snap = obs.metrics.snapshot()["counters"]
+    assert snap.get("lock.acquisitions", 0) > 0
+    assert snap.get("lock.wait_ns", 0) >= 0
+    # creat passes §4.4's failpoint site even with no hook installed.
+    assert snap.get("failpoints.hit{name=creat.pre_core_append}", 0) == 1
+
+
+def test_disabled_instrumentation_records_nothing(fs):
+    assert not obs.enabled
+    fd = fs.creat("/quiet.bin")
+    fs.pwrite(fd, b"q" * 64, 0)
+    fs.close(fd)
+    snap = obs.metrics.snapshot()
+    assert snap["counters"] == {} and snap["histograms"] == {}
+    assert obs.tracer.events() == []
+
+
+def test_tracing_nests_kernel_instants_inside_syscall_spans(fs):
+    obs.reset()
+    obs.enable(trace=True)
+    fd = fs.creat("/traced.bin")
+    fs.close(fd)
+    obs.disable()
+
+    evs = obs.tracer.events()
+    spans = [e for e in evs if e["ph"] == "X"]
+    instants = [e for e in evs if e["ph"] == "i"]
+    assert any(e["name"] == "creat" and e["cat"] == "syscall" for e in spans)
+    assert any(e["name"].startswith("kernel.") for e in instants)
+
+
+# --------------------------------------------------------------------------- #
+# The observed-run driver
+# --------------------------------------------------------------------------- #
+
+
+def test_run_observed_fxmark_metadata():
+    run = run_observed("fxmark:MWCL", threads=1, ops_per_thread=8)
+    assert isinstance(run, ObservedRun)
+    assert run.ops == 8
+    c = run.metrics["counters"]
+    assert c["kernel.crossings"] > 0          # creat allocates inodes
+    assert c["pm.fences"] > 0
+    assert "lock.wait_ns" in c
+    assert run.metrics["histograms"]["libfs.syscall.ns"]["count"] >= 8
+    assert not obs.enabled                    # driver restores the flag
+
+
+def test_run_observed_data_workload_zero_crossing_tail():
+    """After preparation, an fxmark data workload is pure LibFS."""
+    run = run_observed("fxmark:DRBL", threads=1, ops_per_thread=16)
+    c = run.metrics["counters"]
+    # All crossings happened during prepare (measured window only covers
+    # the op loop) — reads of an owned file never cross.
+    assert c["kernel.crossings"] == 0
+    assert c["libfs.syscall.count{op=pread}"] == 16
+
+
+def test_run_observed_multithreaded():
+    run = run_observed("fxmark:MWCM", threads=4, ops_per_thread=4)
+    assert run.ops == 16
+    assert run.metrics["gauges"]["run.threads"] == 4
+    assert run.metrics["counters"]["libfs.syscall.count"] >= 16
+
+
+def test_run_observed_filebench():
+    run = run_observed("filebench:varmail", threads=1, ops_per_thread=4)
+    c = run.metrics["counters"]
+    assert c["libfs.syscall.count"] > 0
+    assert run.spec == "filebench:varmail-shared"
+
+
+def test_resolve_rejects_bad_specs():
+    for bad in ("nope", "fxmark:", "fxmark:NOPE", "filebench:nope",
+                "filebench:varmail-sideways", "what:ever"):
+        with pytest.raises(InvalidArgument):
+            resolve(bad)
+
+
+def test_run_observed_rejects_unknown_fs():
+    with pytest.raises(InvalidArgument):
+        run_observed("fxmark:MWCL", fs="zfs")
+
+
+# --------------------------------------------------------------------------- #
+# CLI end-to-end
+# --------------------------------------------------------------------------- #
+
+
+def test_cli_trace_writes_valid_chrome_trace(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "t.json"
+    assert main(["trace", "fxmark:MWCL", "--out", str(out), "--ops", "8"]) == 0
+    doc = json.loads(out.read_text())
+    evs = doc["traceEvents"]
+    assert evs[0]["ph"] == "M"
+    assert any(e["ph"] == "X" and e["cat"] == "syscall" for e in evs)
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_cli_trace_jsonl(tmp_path):
+    from repro.cli import main
+    from repro.obs.trace import read_jsonl
+
+    out = tmp_path / "t.jsonl"
+    assert main(["trace", "fxmark:MWCL", "--out", str(out),
+                 "--format", "jsonl", "--ops", "4"]) == 0
+    evs = read_jsonl(str(out))
+    assert any(e["ph"] == "X" for e in evs)
+
+
+def test_cli_metrics_prints_headline_counters(capsys):
+    from repro.cli import main
+
+    assert main(["metrics", "fxmark:MWCL", "--ops", "8"]) == 0
+    out = capsys.readouterr().out
+    for needle in ("kernel.crossings", "pm.fences", "lock.wait_ns", "p95="):
+        assert needle in out
+
+
+def test_cli_metrics_json(capsys):
+    from repro.cli import main
+
+    assert main(["metrics", "fxmark:MWCL", "--ops", "4", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["workload"] == "fxmark:MWCL"
+    assert doc["metrics"]["counters"]["kernel.crossings"] >= 0

@@ -33,3 +33,32 @@ def test_fig4_custom_threads(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["fig9000"])
+
+
+def test_table4_json(capsys):
+    import json
+
+    assert main(["table4", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert isinstance(data, list)
+    assert {"scenario", "system", "value", "unit"} <= set(data[0])
+
+
+def test_table2_json(capsys):
+    import json
+
+    assert main(["table2", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["paper_geomean_pct"] == 97.23
+    assert all("ratio_pct" in r for r in data["rows"])
+
+
+def test_trace_requires_workload():
+    with pytest.raises(SystemExit):
+        main(["trace"])
+
+
+def test_metrics_unknown_workload_rejected(capsys):
+    assert main(["metrics", "fxmark:NOSUCH"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown fxmark workload" in err and "MWCL" in err
