@@ -46,7 +46,7 @@ def test_filebench(benchmark, arckfs_plus_fs):
                 + f"{ratio:>8.1f}%{paper_s:>8}"
             )
     lines.append("")
-    lines.append(f"functional engine (ArckFS+, webproxy-shared, 4 threads): "
+    lines.append("functional engine (ArckFS+, webproxy-shared, 4 threads): "
                  f"{flowops} flowops executed")
     save_and_print("filebench", "\n".join(lines))
 

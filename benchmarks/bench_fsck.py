@@ -1,0 +1,79 @@
+"""fsck worker-scaling — the pFSCK-style pipelined checker on a populated
+volume.
+
+Builds one large volume, then runs the whole-volume check at 1/2/4/8
+workers.  Throughput is deterministic virtual time from the calibrated cost
+model (parallel phases cost their slowest shard; the serial graph merge is
+the Amdahl fraction), so the assertions are exact and host-independent:
+findings must be identical at every worker count, modeled time must fall
+monotonically, and 8 workers must beat 1 by at least 2x end to end.
+"""
+
+from repro.fsck import build_volume, run_fsck
+
+from conftest import save_and_print
+
+WORKERS = (1, 2, 4, 8)
+
+#: ~2000 files across 32 directories on a 128 MiB / 4096-slot volume.
+VOLUME = dict(files=2000, dirs=32, size=128 * 1024 * 1024, inode_count=4096)
+
+
+def _render(reports) -> str:
+    base = reports[WORKERS[0]]
+    lines = [
+        "== fsck worker scaling ==",
+        f"volume: {base.inodes_valid} inodes ({base.dirs} dirs, "
+        f"{base.files} files), {base.dentries} dentries, "
+        f"{base.pages_claimed} pages, "
+        f"{base.bytes_scanned / (1 << 20):.1f} MiB scanned",
+        "",
+        f"{'workers':<9}{'scan ms':>10}{'check ms':>10}{'graph ms':>10}"
+        f"{'total ms':>10}{'MiB/s':>10}{'speedup':>9}",
+        "-" * 68,
+    ]
+    for w in WORKERS:
+        r = reports[w]
+        mibps = r.bytes_scanned / (1 << 20) / (r.modeled_ns / 1e9)
+        lines.append(
+            f"{w:<9}"
+            f"{r.phase_ns['scan'] / 1e6:>10.3f}"
+            f"{r.phase_ns['check'] / 1e6:>10.3f}"
+            f"{r.phase_ns['graph'] / 1e6:>10.3f}"
+            f"{r.modeled_ns / 1e6:>10.3f}"
+            f"{mibps:>10.0f}"
+            f"{base.modeled_ns / r.modeled_ns:>8.2f}x"
+        )
+    lines.append("")
+    lines.append("(modeled virtual time; the serial graph merge bounds the "
+                 "asymptote)")
+    return "\n".join(lines)
+
+
+def test_fsck_worker_scaling(benchmark):
+    device, _kernel, _fs = build_volume(**VOLUME)
+
+    def sweep():
+        return {w: run_fsck(device, workers=w) for w in WORKERS}
+
+    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    for r in reports.values():
+        assert r.clean, r.summary()
+
+    # Same volume, same findings, same stats — regardless of sharding.
+    base = reports[WORKERS[0]]
+    for r in reports.values():
+        assert [f.as_dict() for f in r.findings] == []
+        assert (r.inodes_valid, r.dentries, r.pages_claimed) == (
+            base.inodes_valid, base.dentries, base.pages_claimed)
+
+    # Throughput scales: monotone in workers, and >= 2x at 8 workers.
+    totals = [reports[w].modeled_ns for w in WORKERS]
+    assert all(a > b for a, b in zip(totals, totals[1:])), totals
+    assert totals[0] / totals[-1] >= 2.0, totals
+    # The parallel phases themselves must scale near-linearly.
+    scans = [reports[w].phase_ns["scan"] for w in WORKERS]
+    assert scans[0] / scans[-1] >= 4.0, scans
+
+    save_and_print("fsck_scaling", _render(reports))

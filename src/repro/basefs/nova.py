@@ -20,7 +20,7 @@ from __future__ import annotations
 import queue
 import struct
 import threading
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.basefs.vfs import VFSKernelFS, _VNode
 from repro.pm.device import PMDevice

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import struct
 import threading
-from typing import List, Tuple
 
 from repro.basefs.vfs import VFSKernelFS
 from repro.pm.device import PMDevice

@@ -18,11 +18,10 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List
 
 from repro.basefs.base import FileSystem
 from repro.basefs.vfs import VFSKernelFS
-from repro.errors import InvalidArgument, NoEntry
 from repro.libfs.libfs import StatResult
 from repro.pm.device import PMDevice
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 import struct
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.basefs.base import FileSystem
 from repro.errors import (
@@ -44,12 +44,9 @@ from repro.pm.allocator import PageAllocator
 from repro.pm.device import PMDevice
 from repro.pm.layout import (
     DENTRY_DELETED_OFF,
-    DENTRY_HEADER,
-    INDEX_SLOTS,
     INODE_MAGIC,
     ITYPE_DIR,
     ITYPE_FILE,
-    MAX_NAME,
     PAGE_KIND_DIRLOG,
     PAGE_SIZE,
     PAGEHDR_SIZE,

@@ -13,7 +13,7 @@ is reclaimed only afterwards.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
 from repro.bugs.harness import BugOutcome, make_fs, race
 from repro.core.config import ArckConfig

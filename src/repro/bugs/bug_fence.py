@@ -8,9 +8,12 @@ marker line and sleeping right after the marker store; we place a crash
 point there (failpoint ``create.post_marker``) and *enumerate every
 reachable crash state* of the device.
 
-Manifestation: at least one crash image whose recovery finds a dentry with
-a valid commit marker whose inode record (or name bytes) never persisted.
-The ArckFS+ fence removes every such state.
+Manifestation: at least one crash image in which whole-volume fsck finds a
+torn or dangling dentry — a valid commit marker over name bytes or an inode
+record that never persisted.  Orphan inodes and leaked pages are *legal*
+crash states (repairable even under ArckFS+), so the checker filters on
+:data:`~repro.fsck.findings.TORN_CLASSES`.  The ArckFS+ fence removes every
+torn state.
 """
 
 from __future__ import annotations
@@ -19,7 +22,8 @@ from repro.bugs.harness import BugOutcome, make_fs
 from repro.concurrency.failpoints import failpoints
 from repro.core.config import ArckConfig
 from repro.errors import CrashPoint
-from repro.kernel.controller import KernelController
+from repro.fsck import TORN_CLASSES, fsck_checker
+from repro.pm.crash import CrashSim
 from repro.pm.device import PMDevice
 
 #: Long enough that the dentry record spans two cache lines.
@@ -44,34 +48,15 @@ def _crash_at_marker(config: ArckConfig) -> PMDevice:
     return device
 
 
-def check_image(image: bytes) -> str:
-    """Recover one crash image; return '' if consistent, else the violation."""
-    kernel = KernelController.mount(PMDevice.from_image(image))
-    report = kernel.last_recovery
-    if report.torn_dentries:
-        dir_ino, name = report.torn_dentries[0]
-        return f"committed dentry {name!r} in dir {dir_ino} with unpersisted inode"
-    names = set(kernel.shadow[0].children)
-    expected = VICTIM.strip("/").encode()
-    unexpected = names - {expected}
-    if unexpected:
-        return f"garbage dentry name recovered: {sorted(unexpected)[0]!r}"
-    return ""
-
-
 def demonstrate(config: ArckConfig) -> BugOutcome:
     device = _crash_at_marker(config)
-    states = 0
-    violation = ""
-    for image in device.enumerate_crash_images(limit=16384):
-        states += 1
-        problem = check_image(image)
-        if problem and not violation:
-            violation = problem
-    manifested = bool(violation)
+    sim = CrashSim(device, limit=16384)
+    hit = sim.find_violation(fsck_checker(classes=TORN_CLASSES))
+    manifested = hit is not None
     detail = (
-        f"{states} reachable crash states; "
-        + (f"violation found: {violation}" if manifested else "all recover consistently")
+        f"{sim.state_count()} reachable crash states; "
+        + (f"fsck violation: {hit[1]}" if manifested
+           else "every crash state is fsck-clean (no torn/dangling dentry)")
     )
     return BugOutcome(
         bug="4.2",

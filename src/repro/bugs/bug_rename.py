@@ -44,7 +44,7 @@ def _attempt(config: ArckConfig, release_new_parent_first: bool) -> BugOutcome:
     manifested = bool(failures)
     if manifested:
         detail = (
-            f"legitimate relocation rejected (new parent released "
+            "legitimate relocation rejected (new parent released "
             f"{'first' if release_new_parent_first else 'second'}): {failures[0]}"
         )
     else:

@@ -202,6 +202,33 @@ def cmd_metrics(args) -> None:
                               title=f"{args.workload} on {args.fs}"))
 
 
+def cmd_fsck(args) -> int:
+    from repro.fsck import INJECTORS, build_volume, run_fsck
+    from repro.pm.device import PMDevice
+
+    if args.image:
+        with open(args.image, "rb") as fh:
+            device = PMDevice.from_image(fh.read(), crash_tracking=False)
+    else:
+        device, _kernel, _fs = build_volume(files=args.files, dirs=args.dirs)
+        for name in args.inject or ():
+            inject, _cls = INJECTORS[name]
+            inject(device)
+    report = run_fsck(device, workers=args.workers, repair=args.repair)
+    if args.dump_image:
+        with open(args.dump_image, "wb") as fh:
+            fh.write(bytes(device.media))
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.summary())
+    if report.clean:
+        return 0
+    if any(not f.repairable for f in report.findings):
+        return 2
+    return 1
+
+
 TABLE_COMMANDS = {
     "table1": (cmd_table1, "Table 1: the six bugs, both configurations"),
     "fig3": (cmd_fig3, "Figure 3: single-thread metadata throughput"),
@@ -225,6 +252,12 @@ def _add_workload_options(sub: argparse.ArgumentParser) -> None:
                      help="operations per thread (default 64)")
     sub.add_argument("--fs", choices=["arckfs", "arckfs+"], default="arckfs+",
                      help="configuration to run under (default arckfs+)")
+
+
+def _injector_names():
+    from repro.fsck.inject import INJECTORS
+
+    return INJECTORS.keys()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -265,6 +298,31 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit the metrics snapshot as JSON")
     metrics.set_defaults(fn=cmd_metrics)
 
+    fsck = subs.add_parser(
+        "fsck", help="whole-volume check/repair (exit 0 clean, 1 findings, "
+                     "2 unrepairable)")
+    fsck.add_argument("--image", metavar="PATH",
+                      help="check a raw device image instead of building a "
+                           "fresh populated volume")
+    fsck.add_argument("--files", type=int, default=64,
+                      help="files on the built volume (default 64)")
+    fsck.add_argument("--dirs", type=int, default=4,
+                      help="directories on the built volume (default 4)")
+    fsck.add_argument("--inject", action="append", metavar="CLASS",
+                      choices=sorted(_injector_names()),
+                      help="plant one corruption of this class before "
+                           "checking (repeatable); classes: "
+                           + ", ".join(sorted(_injector_names())))
+    fsck.add_argument("--workers", type=int, default=1,
+                      help="scan/check worker threads (default 1)")
+    fsck.add_argument("--repair", action="store_true",
+                      help="repair findings and re-check until clean")
+    fsck.add_argument("--dump-image", metavar="PATH",
+                      help="write the (post-repair) device image to PATH")
+    fsck.add_argument("--json", action="store_true",
+                      help="emit the full report as JSON")
+    fsck.set_defaults(fn=cmd_fsck)
+
     return parser
 
 
@@ -279,7 +337,8 @@ def main(argv=None) -> int:
                 print(f"\n######## {name} ########")
                 TABLE_COMMANDS[name][0](args)
         else:
-            args.fn(args)
+            rc = args.fn(args)
+            return rc or 0
     except InvalidArgument as exc:
         print(f"error: {exc.strerror or exc}", file=sys.stderr)
         return 2

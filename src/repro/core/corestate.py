@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 from repro.errors import InvalidArgument, NameTooLong
 from repro.pm.allocator import PageAllocator
@@ -37,11 +37,8 @@ from repro.pm.layout import (
     DENTRY_HEADER,
     DENTRY_MARKER_OFF,
     INDEX_SLOTS,
-    INODE_MAGIC,
     INODE_SIZE_OFF,
-    ITYPE_DIR,
     MAX_NAME,
-    NTAILS,
     PAGE_KIND_DIRLOG,
     PAGE_KIND_INDEX,
     PAGE_PAYLOAD,

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from repro.pm.allocator import PageAllocator
 from repro.pm.device import PMDevice
 from repro.pm.layout import (
     INODE_MAGIC,

@@ -1,0 +1,50 @@
+"""``repro.fsck`` — a parallel whole-volume checker and repairer.
+
+The kernel verifier (:mod:`repro.kernel.verifier`) checks one inode at the
+moment its ownership is transferred; this package is its whole-volume
+complement, in the shape pFSCK gave the classic fsck pipeline:
+
+1. **scan** — a worker pool sharded over the shadow inode table walks the
+   superblock, every inode record, every directory-log tail and every
+   file page index (:mod:`repro.fsck.scan`);
+2. **cross-check** — per-inode validation (again sharded) plus a serial
+   graph merge reconstructing reachability from the root: orphan inodes,
+   dangling or torn dentries, duplicate links, directory cycles, page
+   double-use and bitmap drift (:mod:`repro.fsck.check`);
+3. **repair** — ``--repair`` applies truncate-to-consistent-prefix to
+   logs and chains and quarantines unreachable inodes under
+   ``/lost+found``, then re-checks until the volume proves clean
+   (:mod:`repro.fsck.repair`).
+
+Entry points:
+
+* :func:`run_fsck` — check (and optionally repair) a device;
+* :func:`fsck_checker` — a :class:`~repro.pm.crash.CrashSim`-compatible
+  adapter: "every reachable crash state is fsck-clean";
+* ``python -m repro fsck`` — the CLI verb (exit code 0 = clean).
+"""
+
+from repro.fsck.findings import (  # noqa: F401  (re-exported API)
+    ALL_CLASSES,
+    F_AUX_MISMATCH,
+    F_BAD_PAGE_KIND,
+    F_CHAIN_CORRUPT,
+    F_DANGLING_DENTRY,
+    F_DIR_CYCLE,
+    F_DUPLICATE_DENTRY,
+    F_NLINK_MISMATCH,
+    F_ORPHAN_INODE,
+    F_PAGE_DOUBLE_USE,
+    F_PAGE_LEAK,
+    F_PAGE_UNALLOCATED,
+    F_SIZE_MISMATCH,
+    F_SUPERBLOCK,
+    F_TORN_DENTRY,
+    TORN_CLASSES,
+    Finding,
+    FsckReport,
+)
+from repro.fsck.auxcheck import check_libfs_aux, check_node_ref  # noqa: F401
+from repro.fsck.inject import INJECTORS  # noqa: F401
+from repro.fsck.runner import MAX_PASSES, fsck_checker, run_fsck  # noqa: F401
+from repro.fsck.volume import build_volume  # noqa: F401

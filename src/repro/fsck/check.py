@@ -1,0 +1,392 @@
+"""Phase 2 — cross-checking the scan against reconstructed reachability.
+
+Two sub-phases, mirroring pFSCK's split:
+
+* :func:`check_inodes` — embarrassingly parallel per-inode validation
+  (dentry bodies and targets, page kinds, chain errors, size and link
+  counts).  It needs the *whole* scanned inode table (a dentry may target
+  any slot) but writes nothing shared, so it shards like the scan.
+* :func:`check_graph` — the serial merge: duplicate-dentry resolution,
+  reachability from the root, orphan roots, directory cycles, and the
+  page-claim / bitmap reconciliation.
+
+Every check produces a typed :class:`~repro.fsck.findings.Finding` whose
+``meta`` is sufficient for :mod:`repro.fsck.repair` to act without
+re-walking the volume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.corestate import DentryLoc
+from repro.fsck.findings import (
+    F_BAD_PAGE_KIND,
+    F_CHAIN_CORRUPT,
+    F_DANGLING_DENTRY,
+    F_DIR_CYCLE,
+    F_DUPLICATE_DENTRY,
+    F_NLINK_MISMATCH,
+    F_ORPHAN_INODE,
+    F_PAGE_DOUBLE_USE,
+    F_PAGE_LEAK,
+    F_PAGE_UNALLOCATED,
+    F_SIZE_MISMATCH,
+    F_SUPERBLOCK,
+    F_TORN_DENTRY,
+    Finding,
+)
+from repro.fsck.scan import InodeScan
+from repro.pm.device import PMDevice
+from repro.pm.layout import (
+    DENTRY_HEADER,
+    MAX_NAME,
+    PAGE_KIND_DIRLOG,
+    PAGE_KIND_INDEX,
+    PAGE_SIZE,
+    Geometry,
+)
+
+
+def _loc_meta(loc: DentryLoc) -> Dict[str, int]:
+    return {"tail": loc.tail, "loc_page": loc.page_no, "loc_off": loc.offset}
+
+
+def _name_str(name: bytes) -> str:
+    return name.decode("utf-8", "backslashreplace")
+
+
+def _torn_body_reason(loc: DentryLoc, d) -> Optional[str]:
+    """Is this live dentry's *body* garbage behind a committed marker?"""
+    if d.name_len > MAX_NAME or DENTRY_HEADER + d.name_len > d.rec_len:
+        return f"name_len {d.name_len} overruns record of {d.rec_len} bytes"
+    if b"\x00" in d.name:
+        return "name contains NUL bytes (body never persisted)"
+    if b"/" in d.name or d.name in (b".", b".."):
+        return f"illegal name {d.name!r}"
+    if d.itype not in (1, 2):
+        return f"invalid itype {d.itype}"
+    return None
+
+
+def check_inodes(
+    scans: Dict[int, InodeScan],
+    inos: Iterable[int],
+    geom: Geometry,
+) -> List[Finding]:
+    """Per-inode validation for ``inos`` against the full scan table."""
+    findings: List[Finding] = []
+    for ino in inos:
+        scan = scans[ino]
+        rec = scan.rec
+        if rec.is_dir:
+            if rec.nlink != 2:
+                findings.append(Finding(
+                    F_NLINK_MISMATCH, f"dir nlink {rec.nlink}, expected 2",
+                    ino=ino, meta={"expected": 2},
+                ))
+            for ts in scan.tails:
+                if ts.error is not None:
+                    findings.append(Finding(
+                        F_CHAIN_CORRUPT,
+                        f"dir log tail {ts.tail_idx} corrupt at page {ts.error['bad']}",
+                        ino=ino, page=ts.error["bad"],
+                        meta={"kind": "tail", "tail": ts.tail_idx, **ts.error},
+                    ))
+                for loc, d in ts.records:
+                    if not d.live:
+                        continue
+                    reason = _torn_body_reason(loc, d)
+                    if reason is not None:
+                        findings.append(Finding(
+                            F_TORN_DENTRY, reason,
+                            ino=ino, page=loc.page_no, name=_name_str(d.name),
+                            meta=_loc_meta(loc),
+                        ))
+                        continue
+                    target = None
+                    if 0 <= d.ino < geom.inode_count:
+                        target = scans.get(d.ino)
+                    if target is None:
+                        findings.append(Finding(
+                            F_DANGLING_DENTRY,
+                            f"dentry targets ino {d.ino} whose record is "
+                            "free or invalid",
+                            ino=ino, page=loc.page_no, name=_name_str(d.name),
+                            meta={**_loc_meta(loc), "target": d.ino},
+                        ))
+                    elif target.rec.gen != d.gen or target.rec.itype != d.itype:
+                        findings.append(Finding(
+                            F_DANGLING_DENTRY,
+                            f"dentry (gen {d.gen}, itype {d.itype}) is stale "
+                            f"for ino {d.ino} (gen {target.rec.gen}, "
+                            f"itype {target.rec.itype})",
+                            ino=ino, page=loc.page_no, name=_name_str(d.name),
+                            meta={**_loc_meta(loc), "target": d.ino},
+                        ))
+            for page_no, kind in scan.kinds.items():
+                if kind != PAGE_KIND_DIRLOG:
+                    findings.append(Finding(
+                        F_BAD_PAGE_KIND,
+                        f"dir log page has kind {kind}, "
+                        f"expected {PAGE_KIND_DIRLOG}",
+                        ino=ino, page=page_no,
+                        meta={"expected": PAGE_KIND_DIRLOG},
+                    ))
+        else:
+            if rec.nlink != 1:
+                findings.append(Finding(
+                    F_NLINK_MISMATCH, f"file nlink {rec.nlink}, expected 1",
+                    ino=ino, meta={"expected": 1},
+                ))
+            if scan.index_error is not None:
+                findings.append(Finding(
+                    F_CHAIN_CORRUPT,
+                    f"file index chain corrupt at page {scan.index_error['bad']}",
+                    ino=ino, page=scan.index_error["bad"],
+                    meta={"kind": "index", **scan.index_error},
+                ))
+            if scan.data_error is not None:
+                findings.append(Finding(
+                    F_CHAIN_CORRUPT,
+                    f"data slot {scan.data_error['slot']} points at "
+                    f"page {scan.data_error['page']} (out of range)",
+                    ino=ino, page=scan.data_error["page"],
+                    meta={"kind": "data", **scan.data_error},
+                ))
+            capacity = len(scan.data_pages) * PAGE_SIZE
+            if scan.index_error is None and scan.data_error is None \
+                    and rec.size > capacity:
+                findings.append(Finding(
+                    F_SIZE_MISMATCH,
+                    f"size {rec.size} exceeds mapped capacity {capacity}",
+                    ino=ino, meta={"capacity": capacity},
+                ))
+            for page_no, kind in scan.kinds.items():
+                if kind != PAGE_KIND_INDEX:
+                    findings.append(Finding(
+                        F_BAD_PAGE_KIND,
+                        f"file index page has kind {kind}, "
+                        f"expected {PAGE_KIND_INDEX}",
+                        ino=ino, page=page_no,
+                        meta={"expected": PAGE_KIND_INDEX},
+                    ))
+    return findings
+
+
+# --------------------------------------------------------------------------- #
+# Serial graph merge
+# --------------------------------------------------------------------------- #
+
+
+def _edge_candidates(scans: Dict[int, InodeScan], geom: Geometry):
+    """Live dentries with a matching valid target: (parent, loc, dentry)."""
+    for scan in scans.values():
+        if not scan.rec.is_dir:
+            continue
+        for loc, d in scan.dentries():
+            if not d.live:
+                continue
+            if _torn_body_reason(loc, d) is not None:
+                continue  # already reported as torn
+            target = scans.get(d.ino) if 0 <= d.ino < geom.inode_count else None
+            if target is None or target.rec.gen != d.gen \
+                    or target.rec.itype != d.itype:
+                continue  # already reported as dangling
+            yield scan.ino, loc, d
+
+
+def check_graph(
+    device: PMDevice,
+    geom: Geometry,
+    scans: Dict[int, InodeScan],
+    root_ino: int,
+) -> Tuple[List[Finding], int]:
+    """Reachability, duplicates, orphans, cycles, page/bitmap accounting.
+
+    Returns ``(findings, pages_claimed)``.
+    """
+    findings: List[Finding] = []
+
+    # -- duplicate resolution: at most one live dentry per (ino, gen) ------ #
+    by_child: Dict[int, List[Tuple[int, DentryLoc, object]]] = {}
+    for parent, loc, d in _edge_candidates(scans, geom):
+        by_child.setdefault(d.ino, []).append((parent, loc, d))
+    parent_of: Dict[int, Tuple[int, DentryLoc, object]] = {}
+    for child, refs in by_child.items():
+        # Highest seq wins (the §4.1 resolution rule); ties broken by
+        # location so the outcome is deterministic across worker counts.
+        refs.sort(key=lambda r: (r[2].seq, r[0], r[1].page_no, r[1].offset))
+        winner = refs[-1]
+        parent_of[child] = winner
+        for parent, loc, d in refs[:-1]:
+            findings.append(Finding(
+                F_DUPLICATE_DENTRY,
+                f"ino {child} is also linked as {d.name!r} in dir {parent} "
+                f"(seq {d.seq} loses to seq {winner[2].seq} "
+                f"in dir {winner[0]})",
+                ino=parent, page=loc.page_no, name=_name_str(d.name),
+                meta=_loc_meta(loc),
+            ))
+
+    # -- reachability over the winning edges ------------------------------- #
+    children: Dict[int, List[int]] = {}
+    for child, (parent, _loc, _d) in parent_of.items():
+        children.setdefault(parent, []).append(child)
+    reachable: Set[int] = set()
+    if root_ino in scans:
+        stack = [root_ino]
+        while stack:
+            ino = stack.pop()
+            if ino in reachable:
+                continue
+            reachable.add(ino)
+            stack.extend(children.get(ino, ()))
+    else:
+        findings.append(Finding(
+            F_SUPERBLOCK,
+            f"root inode {root_ino} is not a valid directory record",
+            ino=root_ino, meta={"kind": "root"},
+        ))
+
+    # -- orphan roots and cycles among the unreachable --------------------- #
+    unreachable = [i for i in sorted(scans) if i not in reachable and i != root_ino]
+    covered: Set[int] = set()
+    for ino in unreachable:
+        if ino in parent_of:
+            continue
+        # No incoming edge at all: an orphan root.  Its subtree rides along
+        # when repair reconnects it, so only the root is reported.
+        sub = _subtree(children, ino)
+        covered.update(sub)
+        rec = scans[ino].rec
+        findings.append(Finding(
+            F_ORPHAN_INODE,
+            f"valid {'dir' if rec.is_dir else 'file'} record reachable from "
+            f"no directory ({len(sub)} inode(s) in its subtree)",
+            ino=ino, meta={"itype": rec.itype, "subtree": len(sub)},
+        ))
+    leftovers = [i for i in unreachable if i not in covered]
+    reported_cuts: Set[int] = set()
+    for ino in leftovers:
+        cycle = _find_cycle(parent_of, ino)
+        if not cycle:
+            continue
+        # Cut the edge into the lowest-numbered cycle member; the member
+        # becomes an orphan root on the next pass and is quarantined.
+        cut = min(cycle)
+        if cut in reported_cuts:
+            continue
+        reported_cuts.add(cut)
+        parent, loc, d = parent_of[cut]
+        findings.append(Finding(
+            F_DIR_CYCLE,
+            f"directory cycle {sorted(cycle)}; cutting dentry {d.name!r} "
+            f"(dir {parent} -> ino {cut})",
+            ino=parent, page=loc.page_no, name=_name_str(d.name),
+            meta={**_loc_meta(loc), "cycle": sorted(cycle)},
+        ))
+
+    # -- reachable cycles (a dir that is its own descendant) --------------- #
+    # With single-parent edges a reachable component cannot cycle (BFS from
+    # the root only follows tree edges), but a dentry making the root a
+    # child of its own descendant was dropped above as a duplicate only if
+    # (ino, gen) collided; a root self-edge shows up as parent_of[root].
+    if root_ino in parent_of:
+        parent, loc, d = parent_of[root_ino]
+        findings.append(Finding(
+            F_DIR_CYCLE,
+            f"root directory linked as {d.name!r} under dir {parent}",
+            ino=parent, page=loc.page_no, name=_name_str(d.name),
+            meta=_loc_meta(loc),
+        ))
+
+    # -- page claims / bitmap reconciliation ------------------------------- #
+    claims: Dict[int, Tuple[int, str]] = {}
+    for ino in sorted(scans):
+        scan = scans[ino]
+        for ts in scan.tails:
+            _claim_chain(claims, findings, ino, "dir", ts.pages,
+                         head_meta={"kind": "tail", "tail": ts.tail_idx})
+        _claim_chain(claims, findings, ino, "index", scan.index_pages,
+                     head_meta={"kind": "index"})
+        for slot, page_no in enumerate(scan.data_pages):
+            holder = claims.get(page_no)
+            if holder is None:
+                claims[page_no] = (ino, "data")
+            else:
+                findings.append(Finding(
+                    F_PAGE_DOUBLE_USE,
+                    f"data page of ino {ino} (slot {slot}) already claimed "
+                    f"by ino {holder[0]} ({holder[1]})",
+                    ino=ino, page=page_no,
+                    meta={"kind": "data", "loser": ino, "slot": slot,
+                          "holder": holder[0]},
+                ))
+
+    bitmap_bytes = (geom.page_count + 7) // 8
+    bitmap = device.load(geom.bitmap_off, bitmap_bytes)
+    allocated = {
+        p for p in range(1, geom.page_count + 1)
+        if bitmap[(p - 1) >> 3] & (1 << ((p - 1) & 7))
+    }
+    for page_no in sorted(allocated - set(claims)):
+        findings.append(Finding(
+            F_PAGE_LEAK,
+            "allocated page reachable from no inode",
+            page=page_no, meta={},
+        ))
+    for page_no in sorted(set(claims) - allocated):
+        ino, role = claims[page_no]
+        findings.append(Finding(
+            F_PAGE_UNALLOCATED,
+            f"page in use by ino {ino} ({role}) but its bitmap bit is clear",
+            ino=ino, page=page_no, meta={},
+        ))
+
+    return findings, len(claims)
+
+
+def _claim_chain(claims, findings, ino: int, role: str, pages: List[int],
+                 head_meta: Dict[str, object]) -> None:
+    for pos, page_no in enumerate(pages):
+        holder = claims.get(page_no)
+        if holder is None:
+            claims[page_no] = (ino, role)
+            continue
+        findings.append(Finding(
+            F_PAGE_DOUBLE_USE,
+            f"{role} chain page of ino {ino} already claimed by "
+            f"ino {holder[0]} ({holder[1]})",
+            ino=ino, page=page_no,
+            meta={**head_meta, "loser": ino, "holder": holder[0],
+                  "last_good": pages[pos - 1] if pos else 0, "bad": page_no},
+        ))
+        # The rest of this chain hangs off a foreign page; stop claiming.
+        break
+
+
+def _subtree(children: Dict[int, List[int]], root: int) -> Set[int]:
+    out: Set[int] = set()
+    stack = [root]
+    while stack:
+        ino = stack.pop()
+        if ino in out:
+            continue
+        out.add(ino)
+        stack.extend(children.get(ino, ()))
+    return out
+
+
+def _find_cycle(parent_of, start: int) -> Set[int]:
+    """Follow unique parent pointers from ``start``; return the cycle hit."""
+    path: List[int] = []
+    seen: Set[int] = set()
+    ino = start
+    while ino in parent_of:
+        if ino in seen:
+            return set(path[path.index(ino):])
+        seen.add(ino)
+        path.append(ino)
+        ino = parent_of[ino][0]
+    return set()

@@ -1,0 +1,87 @@
+"""The fsck worker pool and its deterministic cost accounting.
+
+Shards run on real threads (the checker is functionally parallel and any
+ordering bug would surface under the shared-nothing shard structure), but
+*throughput* is reported in deterministic virtual nanoseconds from the
+calibrated cost model — the same convention every performance figure in
+this repository uses (see ``repro.perf``).  A parallel phase costs what its
+slowest shard costs; the serial graph merge is charged on top.  This keeps
+the worker-scaling benchmark exact and host-independent: Python threads
+share the GIL, so wall-clock scaling would measure the interpreter, not
+the algorithm.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List, Sequence, TypeVar
+
+from repro.perf.costmodel import COST
+from repro.pm.layout import PAGE_SIZE, InodeRecord
+
+T = TypeVar("T")
+
+
+def stride_shards(items: Sequence[T], workers: int) -> List[Sequence[T]]:
+    """Deal ``items`` round-robin into ``workers`` shards.
+
+    Striding (rather than contiguous ranges) balances the shards even when
+    the valid inodes cluster in the low slots of the table, which they do
+    on any volume that has never neared capacity.
+    """
+    workers = max(1, min(workers, len(items))) if items else 1
+    return [items[i::workers] for i in range(workers)]
+
+
+def run_parallel(jobs: Sequence[Callable[[], T]]) -> List[T]:
+    """Run every job on its own thread; propagate the first exception."""
+    if len(jobs) == 1:
+        return [jobs[0]()]
+    results: List[T] = [None] * len(jobs)  # type: ignore[list-item]
+    errors: List[BaseException] = []
+
+    def runner(i: int, job: Callable[[], T]) -> None:
+        try:
+            results[i] = job()
+        except BaseException as exc:  # noqa: BLE001 — re-raised below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=runner, args=(i, job), name=f"fsck-w{i}")
+        for i, job in enumerate(jobs)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Modeled phase costs (virtual ns)
+# --------------------------------------------------------------------------- #
+
+
+def scan_shard_cost(records_read: int, pages_read: int, dentries: int) -> float:
+    """Scan cost of one shard: a PM read per inode record and per chain
+    page (latency + bandwidth), CPU per dentry parsed."""
+    return (
+        records_read * (COST.pm_read_lat
+                        + COST.pm_bw_time(InodeRecord.SIZE, read=True))
+        + pages_read * (COST.pm_read_lat + COST.pm_bw_time(PAGE_SIZE, read=True))
+        + dentries * COST.lookup_cpu
+    )
+
+
+def check_shard_cost(inodes: int, dentries: int) -> float:
+    """Cross-check cost of one shard: table lookups per dentry target plus
+    per-inode bookkeeping."""
+    return inodes * COST.op_cpu + dentries * 2 * COST.lookup_cpu
+
+
+def graph_cost(edges: int, pages: int) -> float:
+    """The serial merge: reachability over the edge set and the page-claim
+    / bitmap reconciliation (Amdahl's serial fraction of the pipeline)."""
+    return edges * COST.lookup_cpu + pages * COST.lookup_cpu + COST.op_cpu

@@ -1,0 +1,282 @@
+"""Phase 3 — applying the paper's corruption-resolution policies.
+
+Two families of repair, matching §3.3 of the paper and the kernel's own
+recovery behaviour:
+
+* **truncate to a consistent prefix** — logs and chains are append-only,
+  so anything behind a torn link or a committed-but-garbage record can be
+  cut off without losing committed data: tombstone torn/dangling/duplicate
+  dentries in place, cut chains at the last good page, clamp file sizes to
+  mapped capacity;
+* **quarantine** — a valid but unreachable inode is *reconnected* under
+  ``/lost+found`` (created on demand) instead of being wiped, the
+  conservative alternative to the mount-time recovery's reclaim.
+
+Some repairs only expose the next layer of damage (cutting a cycle creates
+an orphan root; truncating a chain leaks its pages), so the runner applies
+repairs and re-checks in passes until the volume is clean.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.core.corestate import CoreState, DentryLoc
+from repro.fsck.findings import (
+    F_BAD_PAGE_KIND,
+    F_CHAIN_CORRUPT,
+    F_DANGLING_DENTRY,
+    F_DIR_CYCLE,
+    F_DUPLICATE_DENTRY,
+    F_NLINK_MISMATCH,
+    F_ORPHAN_INODE,
+    F_PAGE_DOUBLE_USE,
+    F_PAGE_LEAK,
+    F_PAGE_UNALLOCATED,
+    F_SIZE_MISMATCH,
+    F_SUPERBLOCK,
+    F_TORN_DENTRY,
+    Finding,
+)
+from repro.pm.allocator import PageAllocator
+from repro.pm.device import PMDevice
+from repro.pm.layout import (
+    INODE_MAGIC,
+    ITYPE_DIR,
+    NTAILS,
+    PAGE_SIZE,
+    Geometry,
+    InodeRecord,
+    PageHeader,
+    PAGEHDR_SIZE,
+)
+
+#: Order repairs are applied in within one pass: structural fixes first
+#: (so the allocator the quarantine step builds sees a sane bitmap), then
+#: dentry tombstones, then record fields, then reconnection.
+_REPAIR_ORDER = (
+    F_SUPERBLOCK,
+    F_CHAIN_CORRUPT,
+    F_BAD_PAGE_KIND,
+    F_PAGE_DOUBLE_USE,
+    F_PAGE_UNALLOCATED,
+    F_PAGE_LEAK,
+    F_TORN_DENTRY,
+    F_DANGLING_DENTRY,
+    F_DUPLICATE_DENTRY,
+    F_DIR_CYCLE,
+    F_SIZE_MISMATCH,
+    F_NLINK_MISMATCH,
+    F_ORPHAN_INODE,
+)
+
+LOST_FOUND = b"lost+found"
+
+
+class Repairer:
+    """Applies repairs for one pass of findings against the raw device."""
+
+    def __init__(self, device: PMDevice, geom: Geometry, root_ino: int):
+        self.device = device
+        self.geom = geom
+        self.root_ino = root_ino
+        self.core = CoreState(device, geom)
+        self._alloc: Optional[PageAllocator] = None
+        self._lost_found: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+
+    def apply(self, findings: Iterable[Finding]) -> Dict[str, int]:
+        """Apply every repairable finding; returns repairs-per-class."""
+        applied: Dict[str, int] = {}
+        ordered = sorted(
+            (f for f in findings if f.repairable),
+            key=lambda f: _REPAIR_ORDER.index(f.cls),
+        )
+        for f in ordered:
+            handler = self._HANDLERS.get(f.cls)
+            if handler is None:
+                continue
+            if handler(self, f):
+                applied[f.cls] = applied.get(f.cls, 0) + 1
+        return applied
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+
+    def _tombstone(self, f: Finding) -> bool:
+        loc = DentryLoc(f.meta["tail"] if "tail" in f.meta else -1,
+                        f.meta["loc_page"], f.meta["loc_off"])
+        self.core.tombstone(loc)
+        return True
+
+    def _set_bitmap_bit(self, page_no: int, value: bool) -> None:
+        idx = page_no - 1
+        addr = self.geom.bitmap_off + (idx >> 3)
+        byte = self.device.load(addr, 1)[0]
+        if value:
+            byte |= 1 << (idx & 7)
+        else:
+            byte &= ~(1 << (idx & 7))
+        self.device.store(addr, bytes([byte]))
+        self.device.persist(addr, 1)
+
+    def _truncate_chain(self, f: Finding) -> bool:
+        """Cut a log/index chain at its last good page (consistent prefix)."""
+        kind = f.meta["kind"]
+        last_good = f.meta.get("last_good", 0)
+        if kind == "data":
+            # Zero the out-of-range slot; the committed prefix before it
+            # stays, the size clamp lands on the next pass if needed.
+            self.device.store(f.meta["slot_addr"], b"\0" * 8)
+            self.device.persist(f.meta["slot_addr"], 8)
+            return True
+        if last_good:
+            self.core.link_page(last_good, 0)
+            return True
+        rec = self.core.read_inode(f.ino)
+        if kind == "tail":
+            rec.tails[f.meta["tail"]] = 0
+        else:  # index
+            rec.index_root = 0
+            rec.size = 0
+        self.core.write_inode(f.ino, rec)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # lost+found plumbing (quarantine)
+    # ------------------------------------------------------------------ #
+
+    def _allocator(self) -> PageAllocator:
+        if self._alloc is None:
+            self._alloc = PageAllocator(self.device, self.geom)
+        return self._alloc
+
+    def _free_inode_slot(self) -> int:
+        for ino in range(self.geom.inode_count):
+            if not self.core.read_inode(ino).valid:
+                return ino
+        raise RuntimeError("no free inode slot for lost+found")
+
+    def _append_entry(self, dir_ino: int, name: bytes, child_ino: int,
+                      child_gen: int, itype: int, seq: int) -> None:
+        rec = self.core.read_inode(dir_ino)
+        cursor, _records = self.core.scan_tail(rec.tails[0])
+        self.core.append_dentry(
+            dir_ino, rec, 0, cursor, name, child_ino, child_gen, itype, seq,
+            self._allocator(), fence_before_marker=True,
+        )
+
+    def _ensure_lost_found(self) -> int:
+        if self._lost_found is not None:
+            return self._lost_found
+        root = self.core.read_inode(self.root_ino)
+        existing = self.core.live_dentries(root).get(LOST_FOUND)
+        if existing is not None \
+                and self.core.read_inode(existing.ino).valid \
+                and self.core.read_inode(existing.ino).is_dir:
+            self._lost_found = existing.ino
+            return existing.ino
+        ino = self._free_inode_slot()
+        old = self.core.read_inode(ino)
+        rec = InodeRecord(
+            magic=INODE_MAGIC, itype=ITYPE_DIR, mode=0o700, uid=0,
+            gen=old.gen + 1, size=0, nlink=2, seq=0, index_root=0,
+            tails=[0] * NTAILS,
+        )
+        self.core.write_inode(ino, rec)
+        self._append_entry(self.root_ino, LOST_FOUND, ino, rec.gen,
+                           ITYPE_DIR, seq=1)
+        self._lost_found = ino
+        return ino
+
+    # ------------------------------------------------------------------ #
+    # Per-class handlers
+    # ------------------------------------------------------------------ #
+
+    def _repair_superblock(self, f: Finding) -> bool:
+        if f.meta.get("kind") != "root":
+            return False  # an unformatted device is beyond repair
+        old = self.core.read_inode(self.root_ino)
+        rec = InodeRecord(
+            magic=INODE_MAGIC, itype=ITYPE_DIR, mode=0o777, uid=0,
+            gen=old.gen + 1, size=0, nlink=2, seq=0, index_root=0,
+            tails=[0] * NTAILS,
+        )
+        self.core.write_inode(self.root_ino, rec)
+        return True
+
+    def _repair_double_use(self, f: Finding) -> bool:
+        # The lower-numbered claimant keeps the page; the loser's structure
+        # is truncated just before it (same consistent-prefix policy).
+        return self._truncate_chain(f) if f.meta["kind"] != "data" else \
+            self._zero_data_slot(f)
+
+    def _zero_data_slot(self, f: Finding) -> bool:
+        rec = self.core.read_inode(f.meta["loser"])
+        slot = f.meta["slot"]
+        pos = 0
+        idx_page = rec.index_root
+        while idx_page and pos + (PAGE_SIZE - PAGEHDR_SIZE) // 8 <= slot:
+            pos += (PAGE_SIZE - PAGEHDR_SIZE) // 8
+            idx_page = self.core.read_page_header(idx_page).next_page
+        if not idx_page:
+            return False
+        addr = self.geom.page_off(idx_page) + PAGEHDR_SIZE + (slot - pos) * 8
+        self.device.store(addr, b"\0" * 8)
+        self.device.persist(addr, 8)
+        if rec.size > slot * PAGE_SIZE:
+            self.core.set_file_size(f.meta["loser"], slot * PAGE_SIZE)
+        return True
+
+    def _repair_page_leak(self, f: Finding) -> bool:
+        self._set_bitmap_bit(f.page, False)
+        return True
+
+    def _repair_page_unallocated(self, f: Finding) -> bool:
+        self._set_bitmap_bit(f.page, True)
+        return True
+
+    def _repair_bad_kind(self, f: Finding) -> bool:
+        off = self.geom.page_off(f.page)
+        hdr = PageHeader.unpack(self.device.load(off, PAGEHDR_SIZE))
+        hdr.kind = f.meta["expected"]
+        self.device.store(off, hdr.pack())
+        self.device.persist(off, PAGEHDR_SIZE)
+        return True
+
+    def _repair_size(self, f: Finding) -> bool:
+        self.core.set_file_size(f.ino, f.meta["capacity"])
+        return True
+
+    def _repair_nlink(self, f: Finding) -> bool:
+        rec = self.core.read_inode(f.ino)
+        rec.nlink = f.meta["expected"]
+        self.core.write_inode(f.ino, rec)
+        return True
+
+    def _repair_orphan(self, f: Finding) -> bool:
+        rec = self.core.read_inode(f.ino)
+        if not rec.valid:
+            return False
+        lf = self._ensure_lost_found()
+        name = b"ino%d.g%d" % (f.ino, rec.gen)
+        self._append_entry(lf, name, f.ino, rec.gen, rec.itype, seq=1)
+        return True
+
+    _HANDLERS = {
+        F_SUPERBLOCK: _repair_superblock,
+        F_CHAIN_CORRUPT: _truncate_chain,
+        F_BAD_PAGE_KIND: _repair_bad_kind,
+        F_PAGE_DOUBLE_USE: _repair_double_use,
+        F_PAGE_LEAK: _repair_page_leak,
+        F_PAGE_UNALLOCATED: _repair_page_unallocated,
+        F_TORN_DENTRY: _tombstone,
+        F_DANGLING_DENTRY: _tombstone,
+        F_DUPLICATE_DENTRY: _tombstone,
+        F_DIR_CYCLE: _tombstone,
+        F_SIZE_MISMATCH: _repair_size,
+        F_NLINK_MISMATCH: _repair_nlink,
+        F_ORPHAN_INODE: _repair_orphan,
+    }

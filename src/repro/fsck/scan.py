@@ -1,0 +1,179 @@
+"""Phase 1 — the sharded inode-table scan.
+
+Each worker walks a contiguous shard of the shadow inode table and, for
+every valid record, every on-PM structure hanging off it: directory-log
+tail chains (with every parseable dentry record), the file page-index
+chain, and the data-page slots.  Chain walks never raise: a corrupt link
+(out of range, or revisiting a page) is recorded as an error dict carrying
+the last good page — exactly what truncate-to-consistent-prefix repair
+needs.
+
+The scan is read-only and self-contained per shard, so shards run in
+parallel with no shared mutable state; the cross-check phase consumes the
+merged results.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.corestate import CoreState, DentryLoc
+from repro.pm.layout import (
+    DENTRY_HEADER,
+    INDEX_SLOTS,
+    MAX_NAME,
+    PAGE_SIZE,
+    PAGEHDR_SIZE,
+    Dentry,
+    Geometry,
+    InodeRecord,
+)
+
+
+@dataclass
+class TailScan:
+    """One directory-log tail chain: its pages and parseable records."""
+
+    tail_idx: int
+    head: int
+    pages: List[int] = field(default_factory=list)
+    records: List[Tuple[DentryLoc, Dentry]] = field(default_factory=list)
+    #: set when the chain is corrupt: {"bad": page, "last_good": page|0}
+    error: Optional[Dict[str, int]] = None
+
+
+@dataclass
+class InodeScan:
+    """Everything phase 2 needs to know about one valid inode record."""
+
+    ino: int
+    rec: InodeRecord
+    tails: List[TailScan] = field(default_factory=list)
+    index_pages: List[int] = field(default_factory=list)
+    index_error: Optional[Dict[str, int]] = None
+    data_pages: List[int] = field(default_factory=list)
+    #: set when a data slot is out of range:
+    #: {"slot": n, "page": bad_page, "slot_addr": device_addr}
+    data_error: Optional[Dict[str, int]] = None
+    #: header kind per chain (dirlog/index) page, for the kind cross-check.
+    kinds: Dict[int, int] = field(default_factory=dict)
+
+    def dentries(self):
+        for ts in self.tails:
+            yield from ts.records
+
+    def chain_pages(self) -> List[int]:
+        pages: List[int] = []
+        for ts in self.tails:
+            pages.extend(ts.pages)
+        pages.extend(self.index_pages)
+        return pages
+
+
+@dataclass
+class ShardScan:
+    """One worker's share of the table, with its cost accounting."""
+
+    inos: Sequence[int]
+    inodes: List[InodeScan] = field(default_factory=list)
+    records_read: int = 0
+    pages_read: int = 0
+    dentries_parsed: int = 0
+    bytes_scanned: int = 0
+
+
+def _walk_tail(
+    core: CoreState, geom: Geometry, tail_idx: int, head: int, kinds: Dict[int, int]
+) -> TailScan:
+    ts = TailScan(tail_idx=tail_idx, head=head)
+    page_no = head
+    prev = 0
+    seen = set()
+    while page_no:
+        if page_no in seen or not 1 <= page_no <= geom.page_count:
+            ts.error = {"bad": page_no, "last_good": prev}
+            break
+        seen.add(page_no)
+        ts.pages.append(page_no)
+        hdr = core.read_page_header(page_no)
+        kinds[page_no] = hdr.kind
+        base = geom.page_off(page_no)
+        off = PAGEHDR_SIZE
+        while off + DENTRY_HEADER <= PAGE_SIZE:
+            raw = core.mem.load(base + off, min(DENTRY_HEADER + MAX_NAME, PAGE_SIZE - off))
+            d = Dentry.unpack(raw)
+            if d.rec_len == 0:
+                break
+            if d.rec_len % 8 != 0 or off + d.rec_len > PAGE_SIZE:
+                break  # torn header — the uncommitted suffix of the log
+            ts.records.append((DentryLoc(tail_idx, page_no, off), d))
+            off += d.rec_len
+        prev = page_no
+        page_no = hdr.next_page
+    return ts
+
+
+def _walk_index(core: CoreState, geom: Geometry, scan: InodeScan) -> None:
+    page_no = scan.rec.index_root
+    prev = 0
+    seen = set()
+    while page_no:
+        if page_no in seen or not 1 <= page_no <= geom.page_count:
+            scan.index_error = {"bad": page_no, "last_good": prev}
+            return
+        seen.add(page_no)
+        scan.index_pages.append(page_no)
+        hdr = core.read_page_header(page_no)
+        scan.kinds[page_no] = hdr.kind
+        prev = page_no
+        page_no = hdr.next_page
+
+
+def _walk_data_slots(core: CoreState, geom: Geometry, scan: InodeScan) -> None:
+    pos = 0
+    for idx_page in scan.index_pages:
+        base = geom.page_off(idx_page) + PAGEHDR_SIZE
+        raw = core.mem.load(base, INDEX_SLOTS * 8)
+        for slot in range(INDEX_SLOTS):
+            (page_no,) = struct.unpack_from("<Q", raw, slot * 8)
+            if page_no == 0:
+                return
+            if not 1 <= page_no <= geom.page_count:
+                scan.data_error = {
+                    "slot": pos,
+                    "page": page_no,
+                    "slot_addr": base + slot * 8,
+                }
+                return
+            scan.data_pages.append(page_no)
+            pos += 1
+
+
+def scan_shard(core: CoreState, geom: Geometry, inos: Sequence[int]) -> ShardScan:
+    """Scan the given inode slots; never raises on corrupt structures."""
+    shard = ShardScan(inos=inos)
+    for ino in inos:
+        rec = core.read_inode(ino)
+        shard.records_read += 1
+        shard.bytes_scanned += InodeRecord.SIZE
+        if not rec.valid:
+            continue
+        scan = InodeScan(ino=ino, rec=rec)
+        if rec.is_dir:
+            for tail_idx, head in enumerate(rec.tails):
+                if not head:
+                    continue
+                ts = _walk_tail(core, geom, tail_idx, head, scan.kinds)
+                scan.tails.append(ts)
+                shard.dentries_parsed += len(ts.records)
+        else:
+            _walk_index(core, geom, scan)
+            if scan.index_error is None:
+                _walk_data_slots(core, geom, scan)
+        npages = len(scan.chain_pages())
+        shard.pages_read += npages
+        shard.bytes_scanned += npages * PAGE_SIZE
+        shard.inodes.append(scan)
+    return shard

@@ -1,0 +1,44 @@
+"""Deterministic volume population for fsck tests, the CLI and the bench."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.config import ARCKFS_PLUS, ArckConfig
+from repro.kernel.controller import KernelController
+from repro.libfs.libfs import LibFS
+from repro.pm.device import PMDevice
+
+
+def build_volume(
+    *,
+    files: int = 64,
+    dirs: int = 4,
+    payload: bytes = b"fsck-payload\n",
+    size: int = 16 * 1024 * 1024,
+    inode_count: int = 256,
+    config: ArckConfig = ARCKFS_PLUS,
+    crash_tracking: bool = False,
+    uid: int = 1000,
+) -> Tuple[PMDevice, KernelController, LibFS]:
+    """A freshly formatted volume populated with ``dirs`` directories and
+    ``files`` small files spread round-robin across them (plus the root).
+
+    Layout is a pure function of the arguments, so every fsck test and the
+    bench see identical trees.
+    """
+    device = PMDevice(size, crash_tracking=crash_tracking)
+    kernel = KernelController.fresh(device, inode_count=inode_count, config=config)
+    fs = LibFS(kernel, "fsck-vol", uid=uid, config=config)
+    dirnames = [f"/d{i}" for i in range(dirs)]
+    for name in dirnames:
+        fs.mkdir(name)
+    parents = [""] + dirnames  # "" == the root
+    for i in range(files):
+        parent = parents[i % len(parents)]
+        path = f"{parent}/f{i}.dat"
+        if payload:
+            fs.write_file(path, payload)
+        else:
+            fs.creat(path)
+    return device, kernel, fs

@@ -611,6 +611,18 @@ class KernelController:
     # Audit (test/diagnostic helper)
     # ------------------------------------------------------------------ #
 
+    def fsck(self, *, repair: bool = False, workers: int = 1):
+        """Whole-volume check of this kernel's device (``repro.fsck``).
+
+        Complements :meth:`audit_tree` (which checks the DRAM shadow table)
+        and the per-inode verifier: fsck re-derives everything from durable
+        core state alone.  Returns the :class:`~repro.fsck.FsckReport`.
+        Imported lazily — ``repro.fsck`` sits above the kernel layer.
+        """
+        from repro.fsck import run_fsck
+
+        return run_fsck(self.device, repair=repair, workers=workers)
+
     def audit_tree(self) -> List[AuditIssue]:
         """Check the shadow table itself forms a connected tree."""
         issues: List[AuditIssue] = []

@@ -37,7 +37,6 @@ from repro.core.config import ArckConfig
 from repro.core.corestate import CoreState
 from repro.pm.layout import (
     ITYPE_DIR,
-    ITYPE_FILE,
     PAGE_KIND_DIRLOG,
     PAGE_KIND_INDEX,
     PAGE_SIZE,

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import struct
 import zlib
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, Tuple
 
 from repro.basefs.base import FileSystem
 

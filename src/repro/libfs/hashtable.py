@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import threading
 import zlib
-from typing import Callable, Iterator, List, Optional
+from typing import Iterator, List, Optional
 
 from repro.concurrency.failpoints import failpoints
 from repro.concurrency.rcu import RCU

@@ -40,7 +40,6 @@ or from the command line::
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
 
 from repro.obs.metrics import (  # noqa: F401  (re-exported API)
     LATENCY_BUCKETS_NS,

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import json
 import threading
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 LabelsKey = Tuple[Tuple[str, str], ...]
 

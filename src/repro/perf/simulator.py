@@ -15,7 +15,7 @@ report completed operations per second.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Generator, Iterator, List, Optional, Tuple
 
 

@@ -10,7 +10,7 @@ pages, reclaiming such leaks, and is run by recovery/mount.
 from __future__ import annotations
 
 import threading
-from typing import Iterable, Optional, Set
+from typing import Iterable, Set
 
 from repro.errors import NoSpace
 from repro.pm.device import PMDevice

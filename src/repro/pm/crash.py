@@ -70,6 +70,28 @@ class CrashSim:
                 return image, reason
         return None
 
+    def find_fsck_violation(
+        self,
+        classes: Optional[Iterable[str]] = None,
+        *,
+        repair: bool = False,
+        sample: Optional[int] = None,
+        seed: int = 0,
+    ) -> Optional[Tuple[bytes, str]]:
+        """Convenience: :meth:`find_violation` with the whole-volume fsck as
+        the checker — "every reachable crash state is fsck-clean".
+
+        ``classes`` restricts which finding classes count (e.g.
+        ``repro.fsck.TORN_CLASSES``); ``repair=True`` instead asserts every
+        state is *repairable*.  Imported lazily to keep ``repro.pm`` free of
+        upward dependencies.
+        """
+        from repro.fsck import fsck_checker
+
+        cls = frozenset(classes) if classes is not None else None
+        checker = fsck_checker(classes=cls, repair=repair)
+        return self.find_violation(checker, sample=sample, seed=seed)
+
     def state_count(self) -> int:
         """Number of reachable crash states right now."""
         total = 1

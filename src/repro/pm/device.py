@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import asdict, dataclass, field, fields, replace
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional
 
 from repro.errors import PersistOrderError
 

@@ -16,8 +16,6 @@ semantics.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.errors import SimulatedBusError
 from repro.pm.device import PMDevice
 

@@ -25,8 +25,8 @@ from __future__ import annotations
 
 import threading
 import zlib
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.basefs.base import FileSystem
 

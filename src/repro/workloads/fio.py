@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Dict
 
 from repro.basefs.base import FileSystem
 

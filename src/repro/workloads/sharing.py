@@ -29,7 +29,7 @@ verified-byte counters, demonstrating the same structure end-to-end.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 PAGE = 4096
 

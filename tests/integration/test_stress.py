@@ -9,9 +9,6 @@ passes, (d) the shadow tree audits clean.
 
 import threading
 
-import pytest
-
-from repro.core.config import ARCKFS_PLUS
 from repro.errors import FSError
 from tests.conftest import build_fs
 

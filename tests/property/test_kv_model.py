@@ -4,7 +4,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.kv.db import DB
-from repro.kv.iterator import Entry, merge
+from repro.kv.iterator import merge
 from repro.kv.options import Options
 from tests.conftest import build_fs
 

@@ -1,7 +1,5 @@
 """Property tests for the PM device, allocator, paths and hash table."""
 
-import threading
-
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.config import ARCKFS, ARCKFS_PLUS
 from repro.core.corestate import CoreState, TailCursor
 from repro.core.mkfs import ROOT_INO, load_geometry, mkfs
 from repro.errors import NameTooLong

@@ -11,7 +11,6 @@ from repro.errors import (
     NoSpace,
     PermissionDenied,
     SimulatedBusError,
-    TryAgain,
 )
 from repro.kernel.controller import KernelController
 from repro.kernel.permissions import READ, WRITE, check_access, may_read, may_write
@@ -203,7 +202,6 @@ class TestVerifierRejections:
         fs.mkdir("/d")
         fs.commit_path("/")
         mi = fs._attach(fs.stat("/d").ino, write=True)
-        from repro.core.corestate import TailCursor
 
         cursor = mi.cursors[0]
         fs._cs(mi).append_dentry(

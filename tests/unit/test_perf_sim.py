@@ -2,10 +2,10 @@
 
 import pytest
 
-from repro.perf.costmodel import COST, CostModel
+from repro.perf.costmodel import COST
 from repro.perf.recipes import phases
 from repro.perf.runner import run_workload
-from repro.perf.simulator import Experiment, Lock, Server, Simulator
+from repro.perf.simulator import Experiment, Simulator
 from repro.perf.stats import format_table, geomean, relative
 
 
