@@ -64,3 +64,4 @@ def arckfs_plus_fs():
     obs.publish_stats("pm", device.stats)
     obs.publish_stats("kernel", kernel.stats)
     obs.publish_stats("libfs", fs.stats)
+    obs.publish_stats("alloc", kernel.alloc.stats)

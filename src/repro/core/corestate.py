@@ -447,3 +447,20 @@ class CoreState:
             raise InvalidArgument("write crosses page boundary")
         addr = self.geom.page_off(page_no) + in_page_off
         self.mem.ntstore(addr, data)
+
+    def write_extent_data(self, start_page: int, in_page_off: int,
+                          data: bytes) -> None:
+        """Store data across *physically consecutive* pages (no fence).
+
+        The caller guarantees pages ``start_page .. start_page+n-1`` are
+        consecutive page numbers; the layout makes their bytes contiguous,
+        so the whole extent is one non-temporal stream with one queued
+        write-back instead of a store per page.
+        """
+        if not data:
+            return
+        if in_page_off >= PAGE_SIZE:
+            raise InvalidArgument("extent offset beyond the first page")
+        npages = (in_page_off + len(data) + PAGE_SIZE - 1) // PAGE_SIZE
+        self.geom.page_off(start_page + npages - 1)  # range-check the tail
+        self.mem.ntstore(self.geom.page_off(start_page) + in_page_off, data)

@@ -36,6 +36,7 @@ from repro.fsck.findings import (  # noqa: F401  (re-exported API)
     F_ORPHAN_INODE,
     F_PAGE_DOUBLE_USE,
     F_PAGE_LEAK,
+    F_PAGE_RESERVED,
     F_PAGE_UNALLOCATED,
     F_SIZE_MISMATCH,
     F_SUPERBLOCK,

@@ -30,6 +30,7 @@ from repro.fsck.findings import (
     F_ORPHAN_INODE,
     F_PAGE_DOUBLE_USE,
     F_PAGE_LEAK,
+    F_PAGE_RESERVED,
     F_PAGE_UNALLOCATED,
     F_SIZE_MISMATCH,
     F_SUPERBLOCK,
@@ -37,6 +38,7 @@ from repro.fsck.findings import (
     Finding,
 )
 from repro.fsck.scan import InodeScan
+from repro.pm.allocator import RESERVATION_TAG
 from repro.pm.device import PMDevice
 from repro.pm.layout import (
     DENTRY_HEADER,
@@ -331,11 +333,24 @@ def check_graph(
         if bitmap[(p - 1) >> 3] & (1 << ((p - 1) & 7))
     }
     for page_no in sorted(allocated - set(claims)):
-        findings.append(Finding(
-            F_PAGE_LEAK,
-            "allocated page reachable from no inode",
-            page=page_no, meta={},
-        ))
+        # A per-thread pool reservation stamps the page with the allocator's
+        # tag under the same fence that persists the bitmap bit; the tag is
+        # overwritten the moment the page is handed out.  Tag present →
+        # benign warm-pool reservation (advisory, but reclaimable); tag
+        # absent → a genuine leak.
+        head = device.load(geom.page_off(page_no), len(RESERVATION_TAG))
+        if head == RESERVATION_TAG:
+            findings.append(Finding(
+                F_PAGE_RESERVED,
+                "pool-reserved page never handed out (bit set, tag intact)",
+                page=page_no, advisory=True, meta={},
+            ))
+        else:
+            findings.append(Finding(
+                F_PAGE_LEAK,
+                "allocated page reachable from no inode",
+                page=page_no, meta={},
+            ))
     for page_no in sorted(set(claims) - allocated):
         ino, role = claims[page_no]
         findings.append(Finding(

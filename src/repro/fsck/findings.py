@@ -19,6 +19,9 @@ class                     produced by
                           its own descendant
 ``page-double-use``       a page claimed by two owners (cross-linked chains)
 ``page-leak``             allocated bit set, page reachable from no inode
+``page-reserved``         a pool reservation (bit set, page stamped with the
+                          allocator's tag) never linked anywhere — a legal
+                          warm-pool state, *advisory* but reclaimable
 ``page-unallocated``      page in use but its bitmap bit is clear
 ``chain-corrupt``         a log/index chain pointing out of range or cycling
 ``bad-page-kind``         a chain page whose header kind disagrees with use
@@ -43,6 +46,7 @@ F_ORPHAN_INODE = "orphan-inode"
 F_DIR_CYCLE = "dir-cycle"
 F_PAGE_DOUBLE_USE = "page-double-use"
 F_PAGE_LEAK = "page-leak"
+F_PAGE_RESERVED = "page-reserved"
 F_PAGE_UNALLOCATED = "page-unallocated"
 F_CHAIN_CORRUPT = "chain-corrupt"
 F_BAD_PAGE_KIND = "bad-page-kind"
@@ -59,6 +63,7 @@ ALL_CLASSES = (
     F_DIR_CYCLE,
     F_PAGE_DOUBLE_USE,
     F_PAGE_LEAK,
+    F_PAGE_RESERVED,
     F_PAGE_UNALLOCATED,
     F_CHAIN_CORRUPT,
     F_BAD_PAGE_KIND,
@@ -90,6 +95,10 @@ class Finding:
     page: Optional[int] = None
     name: Optional[str] = None
     repairable: bool = True
+    #: Advisory findings are legal volume states (e.g. warm per-thread page
+    #: pools leaving tagged reservations) — they never make a report dirty,
+    #: but ``--repair`` still reconciles them.
+    advisory: bool = False
     meta: Dict[str, object] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
@@ -100,6 +109,7 @@ class Finding:
             "page": self.page,
             "name": self.name,
             "repairable": self.repairable,
+            "advisory": self.advisory,
             "meta": {k: v for k, v in self.meta.items()},
         }
 
@@ -145,7 +155,8 @@ class FsckReport:
 
     @property
     def clean(self) -> bool:
-        return not self.findings
+        """True when nothing but advisory findings were observed."""
+        return all(f.advisory for f in self.findings)
 
     def classes(self) -> List[str]:
         """Distinct finding classes present, in taxonomy order."""
@@ -194,6 +205,9 @@ class FsckReport:
             lines.append(f"repaired: {fixed}")
         if self.clean:
             lines.append("volume is CLEAN")
+            if self.findings:
+                lines.append(f"{len(self.findings)} advisory finding(s):")
+                lines.extend(f"  {f}" for f in self.findings)
         else:
             lines.append(f"{len(self.findings)} finding(s):")
             lines.extend(f"  {f}" for f in self.findings)

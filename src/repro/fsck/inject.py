@@ -78,7 +78,7 @@ def _append(core: CoreState, geom, dir_ino: int, name: bytes, child_ino: int,
     rec = core.read_inode(dir_ino)
     cursor, _ = core.scan_tail(rec.tails[0])
     core.append_dentry(dir_ino, rec, 0, cursor, name, child_ino, child_gen,
-                       itype, seq, PageAllocator(core.mem, geom),
+                       itype, seq, PageAllocator(core.mem, geom, pool_pages=0),
                        fence_before_marker=True)
 
 
@@ -151,7 +151,16 @@ def inject_dir_cycle(device: PMDevice) -> None:
 def inject_page_leak(device: PMDevice) -> None:
     """An allocated bit with no owner (a crashed mid-creat allocation)."""
     core, geom = _env(device)
-    PageAllocator(device, geom).alloc()
+    PageAllocator(device, geom, pool_pages=0).alloc()
+
+
+def inject_page_reserved(device: PMDevice) -> None:
+    """A tagged pool reservation never handed out — a crashed (or merely
+    warm) per-thread pool.  ``pool_pages=1`` makes the refill reserve
+    exactly one page; not zeroing on alloc would scrub the tag, so the
+    reservation is left parked in the pool."""
+    core, geom = _env(device)
+    PageAllocator(device, geom, pool_pages=1)._refill(1)
 
 
 def inject_page_unallocated(device: PMDevice) -> None:
@@ -230,6 +239,7 @@ INJECTORS: Dict[str, Tuple[Callable[[PMDevice], None], str]] = {
     "orphan-inode": (inject_orphan_inode, F.F_ORPHAN_INODE),
     "dir-cycle": (inject_dir_cycle, F.F_DIR_CYCLE),
     "page-leak": (inject_page_leak, F.F_PAGE_LEAK),
+    "page-reserved": (inject_page_reserved, F.F_PAGE_RESERVED),
     "page-unallocated": (inject_page_unallocated, F.F_PAGE_UNALLOCATED),
     "page-double-use": (inject_page_double_use, F.F_PAGE_DOUBLE_USE),
     "chain-corrupt": (inject_chain_corrupt, F.F_CHAIN_CORRUPT),

@@ -32,6 +32,7 @@ from repro.fsck.findings import (
     F_ORPHAN_INODE,
     F_PAGE_DOUBLE_USE,
     F_PAGE_LEAK,
+    F_PAGE_RESERVED,
     F_PAGE_UNALLOCATED,
     F_SIZE_MISMATCH,
     F_SUPERBLOCK,
@@ -61,6 +62,7 @@ _REPAIR_ORDER = (
     F_PAGE_DOUBLE_USE,
     F_PAGE_UNALLOCATED,
     F_PAGE_LEAK,
+    F_PAGE_RESERVED,
     F_TORN_DENTRY,
     F_DANGLING_DENTRY,
     F_DUPLICATE_DENTRY,
@@ -150,7 +152,9 @@ class Repairer:
 
     def _allocator(self) -> PageAllocator:
         if self._alloc is None:
-            self._alloc = PageAllocator(self.device, self.geom)
+            # pool_pages=0: the repairer must not strand its own tagged
+            # reservations on the volume it is cleaning.
+            self._alloc = PageAllocator(self.device, self.geom, pool_pages=0)
         return self._alloc
 
     def _free_inode_slot(self) -> int:
@@ -234,6 +238,17 @@ class Repairer:
         self._set_bitmap_bit(f.page, False)
         return True
 
+    def _repair_page_reserved(self, f: Finding) -> bool:
+        # Reclaim the reservation: scrub the tag first so a crash between
+        # the two steps degrades to a plain leak, never a stale tag on a
+        # free page.
+        from repro.pm.allocator import RESERVATION_TAG
+        addr = self.geom.page_off(f.page)
+        self.device.store(addr, b"\0" * len(RESERVATION_TAG))
+        self.device.persist(addr, len(RESERVATION_TAG))
+        self._set_bitmap_bit(f.page, False)
+        return True
+
     def _repair_page_unallocated(self, f: Finding) -> bool:
         self._set_bitmap_bit(f.page, True)
         return True
@@ -271,6 +286,7 @@ class Repairer:
         F_BAD_PAGE_KIND: _repair_bad_kind,
         F_PAGE_DOUBLE_USE: _repair_double_use,
         F_PAGE_LEAK: _repair_page_leak,
+        F_PAGE_RESERVED: _repair_page_reserved,
         F_PAGE_UNALLOCATED: _repair_page_unallocated,
         F_TORN_DENTRY: _tombstone,
         F_DANGLING_DENTRY: _tombstone,

@@ -147,7 +147,9 @@ def run_fsck(
         report = _check_once(device, geom, sb.root_ino, workers, libfs)
         passes = 1
         repairs: Dict[str, int] = {}
-        while repair and not report.clean and passes < max_passes:
+        # Keyed on *findings*, not cleanliness: advisory findings (warm pool
+        # reservations) leave the report clean but are still reconciled.
+        while repair and report.findings and passes < max_passes:
             with obs.span("fsck.repair", category="fsck"):
                 applied = Repairer(device, geom, sb.root_ino).apply(
                     report.findings)

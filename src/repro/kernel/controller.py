@@ -106,7 +106,8 @@ class KernelController:
         self.policy = policy or RollbackPolicy()
         self.geom = load_geometry(device)
         self.core = CoreState(device, self.geom)
-        self.alloc = PageAllocator(device, self.geom)
+        self.alloc = PageAllocator(device, self.geom,
+                                   pool_pages=config.alloc_pool_pages)
         self.verifier = Verifier(self)
         self.rename_lease = Lease("global-rename", duration=1.0)
         self.stats = KernelStats()

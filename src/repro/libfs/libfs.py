@@ -28,6 +28,7 @@ import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.concurrency.failpoints import failpoints
 from repro.obs.instrument import traced_syscall
 from repro.concurrency.lease import LeaseExpired
@@ -86,6 +87,7 @@ class LibFSStats:
     renames: int = 0
     reads: int = 0
     writes: int = 0
+    write_extents: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
     lookups: int = 0
@@ -442,17 +444,44 @@ class LibFS:
             end = offset + len(data)
             existing = len(mi.pages)
             needed = (end + PAGE_SIZE - 1) // PAGE_SIZE
+            extent_io = self.config.extent_batched_io
             new_pages = (
-                self.alloc.alloc_many(needed - existing) if needed > existing else []
+                self.alloc.alloc_many(needed - existing, zero=not extent_io)
+                if needed > existing else []
             )
             all_pages = mi.pages + new_pages
+            if extent_io and new_pages:
+                # Fresh pages the write fully overwrites skip the durable
+                # pre-zero; hole pages and partial head/tail pages are
+                # zeroed here with ntstores riding the data fence below.
+                for idx in range(existing, needed):
+                    page_start = idx * PAGE_SIZE
+                    if offset <= page_start and end >= page_start + PAGE_SIZE:
+                        continue
+                    cs.write_page_data(all_pages[idx], 0, b"\0" * PAGE_SIZE)
             pos = offset
             di = 0
+            extents = 0
+            last_idx = (end - 1) // PAGE_SIZE if data else 0
             while di < len(data):
                 page_idx = pos // PAGE_SIZE
                 in_page = pos % PAGE_SIZE
-                chunk = min(len(data) - di, PAGE_SIZE - in_page)
-                cs.write_page_data(all_pages[page_idx], in_page, data[di : di + chunk])
+                if extent_io:
+                    # Coalesce consecutive page numbers into one extent:
+                    # one non-temporal stream, one queued write-back.
+                    run_end = page_idx
+                    while run_end < last_idx and \
+                            all_pages[run_end + 1] == all_pages[run_end] + 1:
+                        run_end += 1
+                    run_bytes = (run_end + 1 - page_idx) * PAGE_SIZE - in_page
+                    chunk = min(len(data) - di, run_bytes)
+                    cs.write_extent_data(all_pages[page_idx], in_page,
+                                         data[di : di + chunk])
+                    extents += 1
+                else:
+                    chunk = min(len(data) - di, PAGE_SIZE - in_page)
+                    cs.write_page_data(all_pages[page_idx], in_page,
+                                       data[di : di + chunk])
                 pos += chunk
                 di += chunk
             mi.mapping.sfence()  # data durable before metadata commits it
@@ -464,7 +493,10 @@ class LibFS:
                 mi.record.size = end
                 mi.size = end
             self.stats.writes += 1
+            self.stats.write_extents += extents
             self.stats.bytes_written += len(data)
+            if extents:
+                obs.count("pwrite.extents", extents)
             return len(data)
         finally:
             mi.rwlock.release_write()
@@ -851,6 +883,9 @@ class LibFS:
                     self.release_ino(mi.ino)
                 except FSError:
                     pass
+        # Ownership handed back: return pool-reserved pages to the bitmap
+        # so nothing stays reserved on behalf of this application.
+        self.alloc.drain_pools()
 
     def _depth(self, mi: MemInode) -> int:
         depth = 0
@@ -893,8 +928,11 @@ class LibFS:
                 self.mkdir(cur)
 
     def quiesce(self) -> None:
-        """Run deferred RCU frees (test/shutdown helper)."""
+        """Run deferred RCU frees and drain the allocator's page pools
+        (test/shutdown helper): afterwards no DRAM-only reservation — node
+        or page — is outstanding."""
         self.rcu.barrier()
+        self.alloc.drain_pools()
 
     def shutdown(self) -> None:
         self.fdtable.close_all()

@@ -76,6 +76,20 @@ class CostModel:
     #: caps private-create scalability identically for both variants, which
     #: is why Table 2's MWCL sits near 100 %).
     alloc_service: float = 45.0
+    #: [struct] per-alloc cost on a pool hit: one uncontended pool lock +
+    #: a list pop, no shared state touched.
+    alloc_pool_hit: float = 18.0
+    #: [struct] fixed cost of one pool refill: the shared-lock handoff, the
+    #: batched bitmap write-back and the single fence.
+    alloc_refill_base: float = 260.0
+    #: [struct] per-page increment of a refill: the byte-scan step plus the
+    #: reservation-tag store/clwb.
+    alloc_refill_per_page: float = 6.0
+    #: [struct] pages reserved per refill (the allocator's default batch).
+    alloc_pool_batch: int = 64
+    #: [calib] legacy global-lock alloc critical section: probe-and-set
+    #: under the shared lock plus the per-page bit persist (fence included).
+    alloc_global_cs: float = 420.0
     #: [calib] extra per-open cost of a *random shared* file (MRPM): the
     #: aux index misses and the dentry/inode are fetched from (half-remote)
     #: PM.  Identical for both variants.
@@ -150,6 +164,19 @@ class CostModel:
 
     def snapshot_time(self, nbytes: int) -> float:
         return nbytes / self.snapshot_bw
+
+    def alloc_refill_time(self, batch: int) -> float:
+        """Time inside the shared lock for one pool refill of ``batch``."""
+        return self.alloc_refill_base + batch * self.alloc_refill_per_page
+
+    def alloc_global_time(self) -> float:
+        """Time inside the shared lock for one legacy per-page alloc."""
+        return self.alloc_global_cs
+
+    def alloc_pooled_per_op(self, batch: int) -> float:
+        """Amortized per-alloc cost of the pooled path: every alloc pays the
+        pool hit; one in ``batch`` additionally pays the refill."""
+        return self.alloc_pool_hit + self.alloc_refill_time(batch) / batch
 
 
 #: The model instance used throughout the benchmarks.

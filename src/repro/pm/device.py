@@ -25,6 +25,7 @@ import threading
 from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Dict, Iterator, List, Optional
 
+from repro import obs
 from repro.errors import PersistOrderError
 
 #: Cache-line size in bytes, as on the paper's Cascade Lake machine.
@@ -210,6 +211,7 @@ class PMDevice:
     def sfence(self) -> None:
         """Complete all queued write-backs; they are durable from here on."""
         self.stats.fences += 1
+        obs.count("pm.persist_calls")
         if not self.crash_tracking:
             return
         with self._lock:

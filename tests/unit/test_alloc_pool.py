@@ -1,0 +1,197 @@
+"""Unit tests for the pooled PM page allocator (per-thread page pools)."""
+
+import pytest
+
+from repro.core.mkfs import mkfs
+from repro.errors import NoSpace
+from repro.pm.allocator import RESERVATION_TAG, PageAllocator
+from repro.pm.device import PMDevice
+from repro.pm.layout import PAGE_SIZE
+
+
+def make_world(*, size=4 * 1024 * 1024, pool_pages=None):
+    device = PMDevice(size, crash_tracking=False)
+    geom = mkfs(device, inode_count=64)
+    return device, geom, PageAllocator(device, geom, pool_pages=pool_pages)
+
+
+def bitmap_popcount(device, geom):
+    nbytes = (geom.page_count + 7) // 8
+    raw = device.load(geom.bitmap_off, nbytes)
+    return bin(int.from_bytes(raw, "little")).count("1")
+
+
+class TestPoolMechanics:
+    def test_refill_is_one_lock_one_fence(self):
+        device, _geom, alloc = make_world()
+        fences0 = device.stats.fences
+        alloc.alloc(zero=False)
+        # One refill: one shared-lock acquisition, one fence for the whole
+        # batch (bitmap range + every reservation tag).
+        assert alloc.stats.lock_acquires == 1
+        assert alloc.stats.pool_refills == 1
+        assert device.stats.fences - fences0 == 1
+        # The rest of the batch is served without touching shared state.
+        for _ in range(alloc.pool_pages - 1):
+            alloc.alloc(zero=False)
+        assert alloc.stats.lock_acquires == 1
+        assert alloc.stats.pool_hits == alloc.pool_pages - 1
+
+    def test_reserved_pages_carry_the_tag(self):
+        device, geom, alloc = make_world()
+        alloc.alloc(zero=False)
+        pooled = alloc.pooled_pages()
+        assert pooled  # the refill over-reserved into the pool
+        for page_no in pooled:
+            head = device.load(geom.page_off(page_no), len(RESERVATION_TAG))
+            assert head == RESERVATION_TAG
+            assert alloc.is_allocated(page_no)
+
+    def test_zeroing_alloc_scrubs_the_tag(self):
+        device, geom, alloc = make_world()
+        page = alloc.alloc(zero=True)
+        assert device.load(geom.page_off(page), PAGE_SIZE) == b"\0" * PAGE_SIZE
+
+    def test_pool_size_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ALLOC_POOL_PAGES", "7")
+        _device, _geom, alloc = make_world()
+        assert alloc.pool_pages == 7
+
+    def test_explicit_pool_size_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ALLOC_POOL_PAGES", "7")
+        _device, _geom, alloc = make_world(pool_pages=3)
+        assert alloc.pool_pages == 3
+
+    def test_alloc_many_is_contiguous_on_fresh_volume(self):
+        _device, _geom, alloc = make_world()
+        pages = alloc.alloc_many(32, zero=False)
+        assert pages == list(range(pages[0], pages[0] + 32))
+
+    def test_free_then_double_free_raises(self):
+        _device, _geom, alloc = make_world()
+        page = alloc.alloc()
+        alloc.free(page)
+        with pytest.raises(ValueError):
+            alloc.free(page)
+
+
+class TestRollback:
+    """Satellite 1: ``alloc_many`` must not leak pages on mid-batch NoSpace."""
+
+    @pytest.mark.parametrize("pool_pages", [None, 0], ids=["pooled", "legacy"])
+    def test_alloc_many_rolls_back_on_nospace(self, pool_pages):
+        _device, geom, alloc = make_world(
+            size=1024 * 1024, pool_pages=pool_pages)
+        free0 = alloc.free_pages()
+        with pytest.raises(NoSpace):
+            alloc.alloc_many(geom.page_count + 1, zero=False)
+        assert alloc.free_pages() == free0
+        assert alloc.allocated_set() == set()
+
+    @pytest.mark.parametrize("pool_pages", [None, 0], ids=["pooled", "legacy"])
+    def test_rollback_after_partial_volume(self, pool_pages):
+        _device, _geom, alloc = make_world(
+            size=1024 * 1024, pool_pages=pool_pages)
+        held = alloc.alloc_many(10, zero=False)
+        free0 = alloc.free_pages()
+        with pytest.raises(NoSpace):
+            alloc.alloc_many(free0 + 1, zero=False)
+        assert alloc.free_pages() == free0
+        assert alloc.allocated_set() == set(held)
+
+
+class TestCaches:
+    """Satellite 2: O(1) free count / allocated set stay exact."""
+
+    @pytest.mark.parametrize("pool_pages", [None, 0], ids=["pooled", "legacy"])
+    def test_free_pages_matches_ground_truth(self, pool_pages):
+        device, geom, alloc = make_world(pool_pages=pool_pages)
+        assert alloc.free_pages() == geom.page_count
+        pages = [alloc.alloc(zero=False) for _ in range(20)]
+        pages += alloc.alloc_many(13, zero=False)
+        for page_no in pages[:7]:
+            alloc.free(page_no)
+        # free_pages == total - handed out; pool reservations still count
+        # as available.
+        assert alloc.free_pages() == geom.page_count - (len(pages) - 7)
+        assert alloc.allocated_set() == set(pages[7:])
+        # The durable bitmap agrees: set bits == handed out + pooled.
+        assert bitmap_popcount(device, geom) == \
+            len(pages) - 7 + len(alloc.pooled_pages())
+
+    def test_allocated_set_is_a_copy(self):
+        _device, _geom, alloc = make_world()
+        page = alloc.alloc(zero=False)
+        snap = alloc.allocated_set()
+        snap.clear()
+        assert alloc.allocated_set() == {page}
+
+
+class TestDrainAndRebuild:
+    def test_drain_returns_reserves_to_bitmap(self):
+        device, geom, alloc = make_world()
+        page = alloc.alloc(zero=False)
+        reserved = alloc.pooled_pages()
+        assert reserved
+        drained = alloc.drain_pools()
+        assert drained == len(reserved)
+        assert alloc.pooled_pages() == set()
+        assert alloc.free_pages() == geom.page_count - 1
+        for page_no in reserved:
+            assert not alloc.is_allocated(page_no)
+        assert alloc.is_allocated(page)
+        # Idempotent.
+        assert alloc.drain_pools() == 0
+
+    def test_rebuild_reclaims_pool_reservations(self):
+        _device, geom, alloc = make_world()
+        handed = [alloc.alloc(zero=False) for _ in range(5)]
+        reserved = alloc.pooled_pages()
+        assert reserved
+        reclaimed = alloc.rebuild(handed)
+        assert reclaimed == len(reserved)
+        assert alloc.pooled_pages() == set()
+        assert alloc.allocated_set() == set(handed)
+        assert alloc.free_pages() == geom.page_count - len(handed)
+        # Reclaimed pages are allocatable again, and nothing is ever handed
+        # out twice.
+        fresh = alloc.alloc_many(len(reserved), zero=False)
+        assert not set(fresh) & set(handed)
+
+    def test_privileged_set_bit_evicts_from_pools(self):
+        _device, _geom, alloc = make_world()
+        alloc.alloc(zero=False)
+        victim = sorted(alloc.pooled_pages())[0]
+        alloc._set_bit(victim, True)  # kernel rollback re-claims the page
+        assert victim not in alloc.pooled_pages()
+        assert alloc.is_allocated(victim)
+        # The pool must never hand it out now.
+        remaining = len(alloc.pooled_pages())
+        seen = {alloc.alloc(zero=False) for _ in range(remaining)}
+        assert victim not in seen
+
+
+class TestLegacyParity:
+    """``pool_pages=0`` is the seed allocator: per-page locks and persists."""
+
+    def test_legacy_lock_per_alloc(self):
+        device, _geom, alloc = make_world(pool_pages=0)
+        fences0 = device.stats.fences
+        for _ in range(8):
+            alloc.alloc(zero=False)
+        assert alloc.stats.lock_acquires == 8
+        assert alloc.stats.pool_refills == 0
+        assert device.stats.fences - fences0 == 8
+
+    def test_legacy_never_reserves(self):
+        _device, _geom, alloc = make_world(pool_pages=0)
+        alloc.alloc(zero=False)
+        assert alloc.pooled_pages() == set()
+        assert alloc.drain_pools() == 0
+
+    def test_same_first_fit_order(self):
+        _d1, _g1, pooled = make_world()
+        _d2, _g2, legacy = make_world(pool_pages=0)
+        a = [pooled.alloc(zero=False) for _ in range(16)]
+        b = [legacy.alloc(zero=False) for _ in range(16)]
+        assert a == b
