@@ -1,0 +1,270 @@
+"""Verification scaling — the pipelined verifier on the Table 4 round-trip.
+
+Three deterministic measurements, no wall clocks:
+
+1. **Modeled worker sweep** — per-transfer verification time of the 256 KiB
+   shared-file ping-pong under the calibrated cost model's pipeline helper
+   (serial enumerate/commit + the slowest check shard), for 1..8 workers.
+   The paper's serial verifier is the 1-worker row.
+2. **Functional equivalence + critical path** — the same ping-pong driven
+   through the real kernel twice, with 1 and with 8 verifier workers.  The
+   kernel's verified-byte counters must be identical (the pipeline changes
+   *scheduling*, never the checks) while the pipeline's unit accounting
+   shows the critical path shrinking by the shard factor.
+3. **Delegation counters** — a hot single-app reopen loop under lease-based
+   read delegation: releases defer verification, re-acquires inside the
+   window hit the lease, and the first cross-app acquire revokes and runs
+   the deferred verification.
+
+Run as a script for the CI smoke check:
+
+    python benchmarks/bench_sharing_scaling.py --smoke            # compare
+    python benchmarks/bench_sharing_scaling.py --write-baseline   # regenerate
+"""
+
+import argparse
+import json
+import os
+import sys
+
+from repro.api import Volume
+from repro.workloads.sharing import run_functional_sharing, verification_scaling
+
+WORKERS = (1, 2, 4, 8)
+FILE_KIB = 256           # the Table 4 shared-file round-trip
+ROUNDS = 4               # ownership bounces in the functional measurement
+TARGET_SPEEDUP = 2.5     # acceptance floor at 8 workers
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "baselines", "sharing_scaling.json")
+
+#: Relative slack for the smoke comparison.  The numbers are deterministic
+#: model/counter values; the tolerance only absorbs intentional cost-model
+#: recalibrations smaller than a real regression.
+SMOKE_RTOL = 0.02
+
+
+# --------------------------------------------------------------------------- #
+# 1. Modeled worker sweep
+# --------------------------------------------------------------------------- #
+
+
+def modeled_sweep():
+    """{workers: {ns_per_transfer, speedup}} from the calibrated model."""
+    rows = verification_scaling(file_kib=FILE_KIB, workers=WORKERS)
+    return {str(r["workers"]): {"ns_per_transfer": r["ns_per_transfer"],
+                                "speedup": r["speedup"]}
+            for r in rows}
+
+
+# --------------------------------------------------------------------------- #
+# 2. Functional equivalence + critical-path accounting
+# --------------------------------------------------------------------------- #
+
+
+def functional_pipeline():
+    """The real ping-pong with 1 vs 8 verifier workers."""
+    out = {}
+    for w in (1, WORKERS[-1]):
+        r = run_functional_sharing(file_kib=FILE_KIB, rounds=ROUNDS,
+                                   verify_workers=w)
+        out[f"w{w}"] = {
+            "bytes_verified_per_transfer": r["bytes_verified_per_transfer"],
+            "verifications": r["verifications"],
+            "total_units": r["verify_total_units"],
+            "critical_units": r["verify_critical_units"],
+            "shard_jobs": r["verify_shard_jobs"],
+        }
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# 3. Delegation counters
+# --------------------------------------------------------------------------- #
+
+
+def delegation_counts():
+    """A hot reopen loop under read delegation, then a cross-app revoke."""
+    with Volume.create(32 * 1024 * 1024, inode_count=128,
+                       verify_delegation=True, delegation_window=30.0) as vol:
+        a = vol.session("app1", uid=1000)
+        b = vol.session("app2", uid=1000)
+        a.write_file("/hot", b"\xa5" * 65536)
+        a.release_all()
+        for _ in range(4):
+            fd = a.open("/hot")
+            assert a.pread(fd, 16, 0) == b"\xa5" * 16
+            a.close(fd)
+            a.release_all()
+        # The first cross-app acquire revokes the lease and runs the
+        # deferred verification before app2 may observe the inode.
+        fd = b.open("/hot")
+        assert b.pread(fd, 16, 0) == b"\xa5" * 16
+        b.close(fd)
+        b.release_all()
+        k = vol.kernel.stats
+        return {
+            "delegated_releases": k.delegated_releases,
+            "delegation_hits": k.delegation_hits,
+            "deferred_verifications": k.deferred_verifications,
+            "verifications": k.verifications,
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Reporting / smoke plumbing
+# --------------------------------------------------------------------------- #
+
+
+def collect():
+    return {
+        "modeled": modeled_sweep(),
+        "functional": functional_pipeline(),
+        "delegation": delegation_counts(),
+    }
+
+
+def render(results) -> str:
+    mo = results["modeled"]
+    fn = results["functional"]
+    dg = results["delegation"]
+    lines = [
+        "== verification scaling: pipelined ownership-transfer verifier ==",
+        "",
+        f"modeled, {FILE_KIB} KiB transfer:",
+        f"{'workers':<9}{'ns/transfer':>13}{'speedup':>9}",
+        "-" * 31,
+    ]
+    for w in WORKERS:
+        row = mo[str(w)]
+        lines.append(f"{w:<9}{row['ns_per_transfer']:>13.0f}"
+                     f"{row['speedup']:>8.2f}x")
+    w1, w8 = fn["w1"], fn[f"w{WORKERS[-1]}"]
+    ratio = (w8["total_units"] / w8["critical_units"]
+             if w8["critical_units"] else 1.0)
+    lines += [
+        "",
+        f"functional, {ROUNDS} ownership bounces:",
+        f"  serial (1 worker):    "
+        f"{w1['bytes_verified_per_transfer']:,.0f} B verified/transfer, "
+        f"{w1['shard_jobs']} shard jobs",
+        f"  pipelined ({WORKERS[-1]} workers): "
+        f"{w8['bytes_verified_per_transfer']:,.0f} B verified/transfer, "
+        f"{w8['shard_jobs']} shard jobs, "
+        f"critical path {ratio:.1f}x shorter",
+        "",
+        "read delegation (hot reopen loop + cross-app revoke):",
+        f"  {dg['delegated_releases']} delegated releases, "
+        f"{dg['delegation_hits']} lease hits, "
+        f"{dg['deferred_verifications']} deferred verification(s)",
+    ]
+    return "\n".join(lines)
+
+
+def smoke_compare(results, baseline) -> list:
+    """Regressions of `results` against `baseline`; empty == pass."""
+    problems = []
+    top = str(WORKERS[-1])
+    got = results["modeled"][top]["speedup"]
+    want = baseline["modeled"][top]["speedup"]
+    if got < TARGET_SPEEDUP:
+        problems.append(
+            f"modeled speedup at {top} workers below target: "
+            f"{got:.2f}x < {TARGET_SPEEDUP}x")
+    if got < want * (1 - SMOKE_RTOL):
+        problems.append(
+            f"modeled speedup at {top} workers regressed: "
+            f"{got:.2f}x < baseline {want:.2f}x")
+    fn = results["functional"]
+    w1, w8 = fn["w1"], fn[f"w{top}"]
+    if w1["bytes_verified_per_transfer"] != w8["bytes_verified_per_transfer"]:
+        problems.append(
+            "pipelined verifier checked different bytes than serial: "
+            f"{w8['bytes_verified_per_transfer']} != "
+            f"{w1['bytes_verified_per_transfer']}")
+    ratio = (w8["total_units"] / w8["critical_units"]
+             if w8["critical_units"] else 1.0)
+    if ratio < TARGET_SPEEDUP:
+        problems.append(
+            f"functional critical-path ratio below target: "
+            f"{ratio:.2f}x < {TARGET_SPEEDUP}x")
+    dg = results["delegation"]
+    for key in ("delegated_releases", "delegation_hits",
+                "deferred_verifications"):
+        if dg[key] < baseline["delegation"][key]:
+            problems.append(
+                f"delegation {key} regressed: "
+                f"{dg[key]} < baseline {baseline['delegation'][key]}")
+    return problems
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="compare against the checked-in baseline; "
+                         "non-zero exit on regression")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="regenerate the checked-in baseline JSON")
+    args = ap.parse_args(argv)
+
+    results = collect()
+    print(render(results))
+
+    if args.write_baseline:
+        os.makedirs(os.path.dirname(BASELINE_PATH), exist_ok=True)
+        with open(BASELINE_PATH, "w") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\n[baseline written to {BASELINE_PATH}]")
+        return 0
+    if args.smoke:
+        with open(BASELINE_PATH) as fh:
+            baseline = json.load(fh)
+        problems = smoke_compare(results, baseline)
+        if problems:
+            print("\nSMOKE FAIL:")
+            for p in problems:
+                print(f"  - {p}")
+            return 1
+        print("\nsmoke: no regression vs baseline")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# pytest entry point
+# --------------------------------------------------------------------------- #
+
+
+def test_sharing_scaling(benchmark):
+    from conftest import save_and_print
+
+    results = benchmark.pedantic(collect, rounds=1, iterations=1)
+    mo = results["modeled"]
+
+    # The pipeline must model >= 2.5x verification throughput at 8 workers
+    # and improve monotonically with worker count.
+    assert mo[str(WORKERS[-1])]["speedup"] >= TARGET_SPEEDUP, mo
+    speedups = [mo[str(w)]["speedup"] for w in WORKERS]
+    assert speedups == sorted(speedups), mo
+    assert mo["1"]["speedup"] == 1.0
+
+    # Equivalence: sharded scheduling checks exactly the serial bytes.
+    fn = results["functional"]
+    w1, w8 = fn["w1"], fn[f"w{WORKERS[-1]}"]
+    assert w1["bytes_verified_per_transfer"] == w8["bytes_verified_per_transfer"], fn
+    assert w1["verifications"] == w8["verifications"], fn
+    assert w1["shard_jobs"] == 0  # 1 worker degenerates to the serial path
+    assert w8["shard_jobs"] > 0
+    assert w8["total_units"] / w8["critical_units"] >= TARGET_SPEEDUP, fn
+
+    # Delegation: releases defer, reopens hit, the cross-app acquire revokes.
+    dg = results["delegation"]
+    assert dg["delegated_releases"] >= 4, dg
+    assert dg["delegation_hits"] >= 3, dg
+    assert dg["deferred_verifications"] >= 1, dg
+
+    save_and_print("sharing_scaling", render(results))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

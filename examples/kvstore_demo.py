@@ -3,27 +3,19 @@
 
 Loads a small dataset, forces flushes and compactions, range-scans, kills
 the 'machine' mid-stream and recovers from the write-ahead log — all on the
-simulated PM device underneath the LibFS.
+simulated PM volume underneath the session.
 
 Run:  python examples/kvstore_demo.py
 """
 
-from repro.core.config import ARCKFS_PLUS
-from repro.kernel.controller import KernelController
+from repro.api import Volume
 from repro.kv.db import DB
 from repro.kv.options import Options
-from repro.libfs.libfs import LibFS
-from repro.pm.device import PMDevice
-
-
-def make_fs():
-    device = PMDevice(96 * 1024 * 1024, crash_tracking=False)
-    kernel = KernelController.fresh(device, inode_count=4096, config=ARCKFS_PLUS)
-    return LibFS(kernel, "kvapp", uid=1000)
 
 
 def main() -> None:
-    fs = make_fs()
+    vol = Volume.create(96 * 1024 * 1024, inode_count=4096)
+    fs = vol.session("kvapp", uid=1000).fs
     options = Options(memtable_bytes=8 * 1024, tables_per_level=3)
     db = DB(fs, "/mydb", options)
 
@@ -58,6 +50,7 @@ def main() -> None:
     ns_ops = s.creates + s.unlinks + s.renames + s.opens + s.mkdirs
     print(f"\nFS op mix: {data_ops} data ops vs {ns_ops} namespace ops "
           f"({data_ops / (data_ops + ns_ops) * 100:.1f}% data-dominated)")
+    vol.close()
 
 
 if __name__ == "__main__":

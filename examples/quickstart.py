@@ -1,53 +1,50 @@
 #!/usr/bin/env python3
-"""Quickstart: a Trio kernel + an ArckFS+ LibFS in 40 lines.
+"""Quickstart: a Trio volume + an ArckFS+ session in 40 lines.
 
-Creates a simulated PM device, formats and mounts it, runs an application
-through the POSIX-like API, crashes the machine, and recovers.
+Creates a simulated PM volume through the ``repro.api`` facade, runs an
+application through the POSIX-like API, crashes the machine, and recovers.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core.config import ARCKFS_PLUS
-from repro.kernel.controller import KernelController
-from repro.libfs.libfs import LibFS
-from repro.pm.device import PMDevice
+from repro.api import Volume
 
 
 def main() -> None:
-    # A 64 MiB simulated persistent-memory device and the trusted kernel.
-    device = PMDevice(64 * 1024 * 1024)
-    kernel = KernelController.fresh(device, inode_count=1024, config=ARCKFS_PLUS)
+    # A 64 MiB simulated persistent-memory volume: device + trusted kernel
+    # formatted and mounted in one call.
+    with Volume.create(64 * 1024 * 1024, inode_count=1024) as vol:
+        # One application's session: direct userspace access, no syscalls on
+        # the hot path, synchronous persistence.
+        with vol.session("app1", uid=1000) as fs:
+            fs.mkdir("/projects")
+            fd = fs.creat("/projects/notes.txt")
+            fs.pwrite(fd, b"ArckFS+ reproduces the SOSP'25 paper.\n", 0)
+            fs.fsync(fd)  # returns immediately: already durable
+            fs.close(fd)
 
-    # One application's LibFS: direct userspace access, no syscalls on the
-    # hot path, synchronous persistence.
-    fs = LibFS(kernel, "app1", uid=1000)
+            fs.mkdir("/archive")
+            fs.rename("/projects/notes.txt", "/archive/notes.txt")
+            print("directory tree:", fs.readdir("/"), fs.readdir("/archive"))
+            print("stat:", fs.stat("/archive/notes.txt"))
 
-    fs.mkdir("/projects")
-    fd = fs.creat("/projects/notes.txt")
-    fs.pwrite(fd, b"ArckFS+ reproduces the SOSP'25 paper.\n", 0)
-    fs.fsync(fd)  # returns immediately: everything is already durable
-    fs.close(fd)
+        # Leaving the session hands everything back to the kernel: each
+        # release verifies the inode's core state against the shadow table
+        # (the Trio architecture's deal).
+        kernel = vol.kernel
+        print(f"kernel verified {kernel.stats.bytes_verified} bytes across "
+              f"{kernel.stats.verifications} verifications")
 
-    fs.mkdir("/archive")
-    fs.rename("/projects/notes.txt", "/archive/notes.txt")
-    print("directory tree:", fs.readdir("/"), fs.readdir("/archive"))
-    print("stat:", fs.stat("/archive/notes.txt"))
+        # Pull the plug: keep only the durable image.
+        image = vol.device.durable_image()
 
-    # Hand everything back to the kernel: each release verifies the inode's
-    # core state against the shadow table (the Trio architecture's deal).
-    fs.release_all()
-    print(f"kernel verified {kernel.stats.bytes_verified} bytes across "
-          f"{kernel.stats.verifications} verifications")
-
-    # Pull the plug: reboot from the durable image only.
-    image = device.durable_image()
-    kernel2 = KernelController.mount(PMDevice.from_image(image))
-    print("recovery report:", kernel2.last_recovery)
-
-    fs2 = LibFS(kernel2, "app-after-reboot", uid=1000)
-    fd = fs2.open("/archive/notes.txt")
-    print("recovered content:", fs2.pread(fd, 100, 0).decode().strip())
-    fs2.close(fd)
+    # Reboot from the image alone.
+    with Volume.mount(image) as vol2:
+        print("recovery report:", vol2.recovery)
+        with vol2.session("app-after-reboot", uid=1000) as fs2:
+            fd = fs2.open("/archive/notes.txt")
+            print("recovered content:", fs2.pread(fd, 100, 0).decode().strip())
+            fs2.close(fd)
 
 
 if __name__ == "__main__":

@@ -1,60 +1,74 @@
 #!/usr/bin/env python3
 """Inode sharing, the §3.1 attack, and trust groups (§5.4).
 
-Three acts:
+Four acts:
 
 1. two well-behaved applications ping-pong a file through verified
    ownership transfers — and pay the verification/snapshot cost;
 2. the same with a trust group — the cost vanishes;
-3. the paper's §3.1 attack: a malicious app tries to use directory
+3. the same with the pipelined verifier (4 workers) — the cost is still
+   paid, but the per-transfer critical path shrinks by the shard factor;
+4. the paper's §3.1 attack: a malicious app tries to use directory
    relocation to delete files it cannot write; Trio's verifier detects the
    corruption and rolls back.
 
 Run:  python examples/sharing_demo.py
 """
 
+from repro.api import Volume
 from repro.core.config import ARCKFS_PLUS
 from repro.errors import CorruptionDetected
-from repro.kernel.controller import KernelController
-from repro.libfs.libfs import LibFS
-from repro.pm.device import PMDevice
 
 
-def ping_pong(group):
-    device = PMDevice(64 * 1024 * 1024, crash_tracking=False)
-    kernel = KernelController.fresh(device, inode_count=256, config=ARCKFS_PLUS)
-    a = LibFS(kernel, "writer-a", uid=1000, group=group)
-    b = LibFS(kernel, "writer-b", uid=1000, group=group)
-    a.write_file("/shared.bin", b"\0" * (512 * 1024))
-    a.release_all()
-    v0, s0 = kernel.stats.bytes_verified, kernel.stats.snapshot_bytes
-    for round_no in range(6):
-        app = (a, b)[round_no % 2]
-        fd = app.open("/shared.bin")
-        app.pwrite(fd, f"round {round_no}".encode(), round_no * 4096)
-        app.close(fd)
-        app.release_all()
-    label = f"trust group {group!r}" if group else "no trust group"
-    print(f"  [{label}] per-transfer: "
-          f"{(kernel.stats.bytes_verified - v0) / 6:,.0f} B verified, "
-          f"{(kernel.stats.snapshot_bytes - s0) / 6:,.0f} B snapshotted, "
-          f"{kernel.stats.group_skips} skipped verifications")
+def ping_pong(group, verify_workers: int = 1):
+    with Volume.create(64 * 1024 * 1024, inode_count=256,
+                       verify_workers=verify_workers) as vol:
+        kernel = vol.kernel
+        a = vol.session("writer-a", uid=1000, group=group)
+        b = vol.session("writer-b", uid=1000, group=group)
+        a.write_file("/shared.bin", b"\0" * (512 * 1024))
+        a.release_all()
+        v0, s0 = kernel.stats.bytes_verified, kernel.stats.snapshot_bytes
+        for round_no in range(6):
+            app = (a, b)[round_no % 2]
+            fd = app.open("/shared.bin")
+            app.pwrite(fd, f"round {round_no}".encode(), round_no * 4096)
+            app.close(fd)
+            app.release_all()
+        if verify_workers > 1:
+            label = f"pipelined x{verify_workers}"
+        elif group:
+            label = f"trust group {group!r}"
+        else:
+            label = "no trust group"
+        pstats = kernel.verifier.pstats
+        extra = ""
+        if verify_workers > 1 and pstats.critical_units:
+            extra = (f", critical path {pstats.total_units / pstats.critical_units:.1f}x"
+                     f" shorter than serial")
+        print(f"  [{label}] per-transfer: "
+              f"{(kernel.stats.bytes_verified - v0) / 6:,.0f} B verified, "
+              f"{(kernel.stats.snapshot_bytes - s0) / 6:,.0f} B snapshotted, "
+              f"{kernel.stats.group_skips} skipped verifications{extra}")
 
 
 def attack():
-    device = PMDevice(32 * 1024 * 1024)
-    kernel = KernelController.fresh(device, inode_count=256, config=ARCKFS_PLUS)
-    owner = LibFS(kernel, "owner", uid=2000)
+    # No context manager here: mallory's session is left dirty on purpose
+    # (a clean close would re-verify the corrupted directory and raise).
+    vol = Volume.create(32 * 1024 * 1024, inode_count=256)
+    kernel = vol.kernel
+    owner = vol.session("owner", uid=2000)
     owner.mkdir("/dir1", mode=0o777)
     owner.mkdir("/dir1/dir3", mode=0o755)  # attacker has NO write access
     owner.write_file("/dir1/dir3/file1", b"must survive")
     owner.mkdir("/dir2", mode=0o777)
     owner.release_all()
 
-    mallory = LibFS(kernel, "mallory", uid=1000,
-                    config=ARCKFS_PLUS.with_patch(rename_commit_protocol=False,
-                                                  global_rename_lock=False,
-                                                  name="malicious"))
+    mallory = vol.session(
+        "mallory", uid=1000,
+        config=ARCKFS_PLUS.with_patch(rename_commit_protocol=False,
+                                      global_rename_lock=False,
+                                      name="malicious"))
     mallory.rename("/dir1/dir3", "/dir2/dir3")  # ② no commits, no lease
     try:
         mallory.release_path("/dir1")  # ④
@@ -72,7 +86,9 @@ def main() -> None:
     ping_pong(group=None)
     print("2) inside a trust group:")
     ping_pong(group="analytics-team")
-    print("3) the §3.1 directory-relocation attack:")
+    print("3) pipelined verification (4 workers):")
+    ping_pong(group=None, verify_workers=4)
+    print("4) the §3.1 directory-relocation attack:")
     attack()
 
 

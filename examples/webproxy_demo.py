@@ -11,31 +11,23 @@ Run:  python examples/webproxy_demo.py
 
 import time
 
-from repro.core.config import ARCKFS_PLUS
-from repro.kernel.controller import KernelController
-from repro.libfs.libfs import LibFS
-from repro.pm.device import PMDevice
+from repro.api import Volume
 from repro.workloads.filebench import PERSONALITIES, FilebenchEngine
 
 
-def make_fs():
-    device = PMDevice(96 * 1024 * 1024, crash_tracking=False)
-    kernel = KernelController.fresh(device, inode_count=4096, config=ARCKFS_PLUS)
-    return LibFS(kernel, "filebench", uid=1000)
-
-
 def run(personality_name: str, shared: bool, nthreads: int = 4) -> None:
-    fs = make_fs()
-    engine = FilebenchEngine(fs, PERSONALITIES[personality_name],
-                             nthreads=nthreads, shared=shared)
-    t0 = time.perf_counter()
-    flowops = engine.run(loops_per_thread=16)
-    dt = time.perf_counter() - t0
-    mode = "shared dir + filename locks" if shared else "private dirs (artifact)"
-    print(f"  {personality_name:<9} [{mode:<28}] {flowops:5d} flowops, "
-          f"{engine.loops:3d} loops, {dt * 1000:7.1f} ms wall "
-          f"(creates={fs.stats.creates} unlinks={fs.stats.unlinks} "
-          f"reads={fs.stats.reads} writes={fs.stats.writes})")
+    with Volume.create(96 * 1024 * 1024, inode_count=4096) as vol:
+        fs = vol.session("filebench", uid=1000).fs
+        engine = FilebenchEngine(fs, PERSONALITIES[personality_name],
+                                 nthreads=nthreads, shared=shared)
+        t0 = time.perf_counter()
+        flowops = engine.run(loops_per_thread=16)
+        dt = time.perf_counter() - t0
+        mode = "shared dir + filename locks" if shared else "private dirs (artifact)"
+        print(f"  {personality_name:<9} [{mode:<28}] {flowops:5d} flowops, "
+              f"{engine.loops:3d} loops, {dt * 1000:7.1f} ms wall "
+              f"(creates={fs.stats.creates} unlinks={fs.stats.unlinks} "
+              f"reads={fs.stats.reads} writes={fs.stats.writes})")
 
 
 def main() -> None:

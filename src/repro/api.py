@@ -1,0 +1,240 @@
+"""The documented entry point: volumes and sessions.
+
+Every earlier layer is constructible by hand (``PMDevice`` → ``mkfs`` →
+``KernelController`` → ``LibFS``), and all of those constructors keep
+working — but hand-wiring the stack in every caller duplicated the same
+boilerplate through the CLI, the workloads, the observability driver and
+the examples, and each copy got the teardown subtly differently.  This
+module is the one blessed wiring:
+
+    from repro.api import Volume
+
+    vol = Volume.create(64 * 1024 * 1024)
+    with vol.session("editor") as fs:
+        fs.write_file("/notes.txt", b"hello")
+    report = vol.fsck()          # clean — the session drained on exit
+    image = vol.device.durable_image()
+
+    vol2 = Volume.mount(image)   # crash-consistent remount
+    print(vol2.recovery)
+
+A :class:`Volume` owns the device and the kernel controller; a
+:class:`Session` wraps one registered LibFS application and forwards its
+whole surface (``open``/``pwrite``/``mkdir``/...).  Both are context
+managers: leaving a session closes descriptors, releases ownership
+(parents first), quiesces RCU and drains the allocator pools; closing a
+volume shuts down its live sessions and runs any deferred verifications
+still riding a read-delegation lease, so a closed volume is always fully
+verified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Union
+
+from repro.core.config import ARCKFS_PLUS, ArckConfig
+from repro.kernel.controller import KernelController, RecoveryReport
+from repro.kernel.policy import ResolutionPolicy
+from repro.libfs.libfs import LibFS
+from repro.pm.device import PMDevice
+
+
+def _tune(
+    config: ArckConfig,
+    verify_workers: Optional[int],
+    verify_delegation: Optional[bool],
+    delegation_window: Optional[float],
+) -> ArckConfig:
+    """Apply the facade's verification knobs on top of a base config."""
+    overrides = {}
+    if verify_workers is not None:
+        overrides["verify_workers"] = verify_workers
+    if verify_delegation is not None:
+        overrides["verify_delegation"] = verify_delegation
+    if delegation_window is not None:
+        overrides["delegation_window"] = delegation_window
+    return replace(config, **overrides) if overrides else config
+
+
+class Session:
+    """One application's handle on a volume.
+
+    Wraps a registered :class:`~repro.libfs.libfs.LibFS` and forwards its
+    entire surface, so ``session.open(...)`` / ``session.pwrite(...)``
+    work directly; the underlying instance stays reachable as ``.fs`` for
+    code that wants the concrete type.  As a context manager, exit runs
+    :meth:`shutdown`: close all descriptors, release every owned inode
+    (parents before children), quiesce RCU and drain the allocator pools.
+    """
+
+    def __init__(self, volume: "Volume", fs: LibFS):
+        self.volume = volume
+        self.fs = fs
+        self._open = True
+
+    def __getattr__(self, name: str):
+        # Only consulted for names not found on the Session itself: the
+        # whole LibFS surface forwards (open, pwrite, mkdir, stats, ...).
+        return getattr(self.__dict__["fs"], name)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        state = "open" if self._open else "closed"
+        return f"<Session {self.fs.app_id!r} ({state})>"
+
+    @property
+    def closed(self) -> bool:
+        return not self._open
+
+    def shutdown(self) -> None:
+        """Tear the application down; idempotent."""
+        if not self._open:
+            return
+        self._open = False
+        self.fs.shutdown()
+
+
+class Volume:
+    """One PM device plus its trusted kernel controller.
+
+    Construct through :meth:`create` (mkfs + mount on a fresh device) or
+    :meth:`mount` (recover an existing device or raw image).  Sessions —
+    per-application LibFS instances — come from :meth:`session`.
+    """
+
+    def __init__(self, device: PMDevice, kernel: KernelController):
+        self.device = device
+        self.kernel = kernel
+        self._sessions: List[Session] = []
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def create(
+        cls,
+        size: int = 64 * 1024 * 1024,
+        *,
+        inode_count: int = 1024,
+        config: ArckConfig = ARCKFS_PLUS,
+        policy: Optional[ResolutionPolicy] = None,
+        device: Optional[PMDevice] = None,
+        crash_tracking: bool = False,
+        verify_workers: Optional[int] = None,
+        verify_delegation: Optional[bool] = None,
+        delegation_window: Optional[float] = None,
+    ) -> "Volume":
+        """mkfs + mount a fresh volume of ``size`` bytes.
+
+        ``verify_workers`` / ``verify_delegation`` / ``delegation_window``
+        override the corresponding :class:`ArckConfig` fields — the
+        pipelined-verification knobs — without the caller re-deriving a
+        config.  ``crash_tracking=True`` enables the device's crash-state
+        enumeration (needed by the §4.2 bug demos, off by default because
+        it shadows every store).
+        """
+        config = _tune(config, verify_workers, verify_delegation, delegation_window)
+        if device is None:
+            device = PMDevice(size, crash_tracking=crash_tracking)
+        kernel = KernelController.fresh(
+            device, inode_count=inode_count, config=config, policy=policy)
+        return cls(device, kernel)
+
+    @classmethod
+    def mount(
+        cls,
+        source: Union[PMDevice, bytes, bytearray],
+        *,
+        config: ArckConfig = ARCKFS_PLUS,
+        policy: Optional[ResolutionPolicy] = None,
+        crash_tracking: bool = False,
+        verify_workers: Optional[int] = None,
+        verify_delegation: Optional[bool] = None,
+        delegation_window: Optional[float] = None,
+    ) -> "Volume":
+        """Mount an existing device, or a raw image (``bytes``) of one.
+
+        Runs full crash recovery; the resulting
+        :class:`~repro.kernel.controller.RecoveryReport` is available as
+        :attr:`recovery`.
+        """
+        config = _tune(config, verify_workers, verify_delegation, delegation_window)
+        if isinstance(source, (bytes, bytearray)):
+            device = PMDevice.from_image(bytes(source), crash_tracking=crash_tracking)
+        else:
+            device = source
+        kernel = KernelController.mount(device, config=config, policy=policy)
+        return cls(device, kernel)
+
+    # ------------------------------------------------------------------ #
+    # Sessions
+    # ------------------------------------------------------------------ #
+
+    def session(
+        self,
+        app_id: str,
+        *,
+        uid: int = 1000,
+        group: Optional[str] = None,
+        config: Optional[ArckConfig] = None,
+    ) -> Session:
+        """Register application ``app_id`` and return its :class:`Session`.
+
+        ``group`` joins the app to a §5.4 trust group; ``config`` lets one
+        app run under different LibFS-side flags than the volume default.
+        """
+        fs = LibFS(self.kernel, app_id, uid=uid,
+                   config=config or self.kernel.config, group=group)
+        sess = Session(self, fs)
+        self._sessions.append(sess)
+        return sess
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle / diagnostics
+    # ------------------------------------------------------------------ #
+
+    @property
+    def config(self) -> ArckConfig:
+        return self.kernel.config
+
+    @property
+    def recovery(self) -> Optional[RecoveryReport]:
+        """What mount-time recovery found (None on a fresh volume)."""
+        return self.kernel.last_recovery
+
+    def fsck(self, *, repair: bool = False, workers: int = 1):
+        """Whole-volume check of the underlying device (``repro.fsck``)."""
+        return self.kernel.fsck(repair=repair, workers=workers)
+
+    def quiesce(self) -> int:
+        """Settle all background state: run every deferred verification
+        still riding a read-delegation lease and drain the allocator's
+        page pools.  Returns the number of deferred verifications run."""
+        drained = self.kernel.drain_delegations()
+        self.kernel.alloc.drain_pools()
+        return drained
+
+    def close(self) -> None:
+        """Shut down every live session, then quiesce; idempotent."""
+        for sess in reversed(self._sessions):
+            sess.shutdown()
+        self._sessions.clear()
+        self.quiesce()
+
+    def __enter__(self) -> "Volume":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"<Volume {self.device.size >> 20} MiB, "
+                f"config={self.kernel.config.name!r}, "
+                f"{len(self._sessions)} session(s)>")

@@ -15,6 +15,7 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro.api import Volume
 from repro.concurrency.failpoints import failpoints
 from repro.core.config import ArckConfig
 from repro.kernel.controller import KernelController
@@ -41,11 +42,15 @@ def make_fs(
     inode_count: int = 256,
     uid: int = 1000,
 ) -> Tuple[PMDevice, KernelController, LibFS]:
-    """A fresh device + kernel + single-app LibFS under ``config``."""
-    device = PMDevice(size)
-    kernel = KernelController.fresh(device, inode_count=inode_count, config=config)
-    fs = LibFS(kernel, "app1", uid=uid, config=config)
-    return device, kernel, fs
+    """A fresh device + kernel + single-app LibFS under ``config``.
+
+    Crash tracking stays on: the §4.2 demonstrations enumerate the
+    device's reachable crash states.
+    """
+    vol = Volume.create(size, inode_count=inode_count, config=config,
+                        crash_tracking=True)
+    fs = vol.session("app1", uid=uid).fs
+    return vol.device, vol.kernel, fs
 
 
 def _capture(fn: Callable[[], Any], out: List[Optional[BaseException]]) -> Callable[[], None]:

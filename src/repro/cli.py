@@ -129,18 +129,30 @@ def cmd_fig4(args) -> None:
 
 
 def cmd_table4(args) -> None:
-    from repro.workloads.sharing import table4
+    from repro.workloads.sharing import table4, verification_scaling
 
     cells = table4()
     data = [dataclasses.asdict(c) if dataclasses.is_dataclass(c) else vars(c)
             for c in cells]
+    scaling = verification_scaling()
 
     def render(_d):
         print(f"{'scenario':<16}{'system':<24}{'value':>10}")
         for cell in cells:
             print(f"{cell.scenario:<16}{cell.system:<24}"
                   f"{cell.value:>8.2f} {cell.unit}")
+        print()
+        print("verification scaling (pipelined, 256KB transfer):")
+        print(f"{'workers':<9}{'ns/transfer':>13}{'speedup':>9}")
+        for row in scaling:
+            print(f"{row['workers']:<9}{row['ns_per_transfer']:>13.0f}"
+                  f"{row['speedup']:>8.2f}x")
 
+    if getattr(args, "json", False):
+        data = data + [{"system": f"arckfs+-pipelined@{r['workers']}w",
+                        "scenario": "verify 256KB transfer",
+                        "value": r["ns_per_transfer"], "unit": "ns"}
+                       for r in scaling]
     _emit(args, data, render)
 
 
@@ -327,7 +339,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
-    from repro.errors import InvalidArgument
+    from repro.errors import ReproError, exit_code_for
 
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -339,9 +351,10 @@ def main(argv=None) -> int:
         else:
             rc = args.fn(args)
             return rc or 0
-    except InvalidArgument as exc:
-        print(f"error: {exc.strerror or exc}", file=sys.stderr)
-        return 2
+    except ReproError as exc:
+        detail = getattr(exc, "strerror", None) or exc
+        print(f"error: {detail}", file=sys.stderr)
+        return exit_code_for(exc)
     return 0
 
 

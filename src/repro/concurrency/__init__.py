@@ -17,6 +17,17 @@ from repro.concurrency.failpoints import FailpointRegistry, failpoints
 from repro.concurrency.spinlock import SpinLock
 from repro.concurrency.rwlock import RWLock
 from repro.concurrency.rcu import RCU
-from repro.concurrency.lease import Lease
+from repro.concurrency.lease import DelegationTable, Lease
+from repro.concurrency.parallel import run_parallel, stride_shards
 
-__all__ = ["FailpointRegistry", "failpoints", "SpinLock", "RWLock", "RCU", "Lease"]
+__all__ = [
+    "FailpointRegistry",
+    "failpoints",
+    "SpinLock",
+    "RWLock",
+    "RCU",
+    "Lease",
+    "DelegationTable",
+    "run_parallel",
+    "stride_shards",
+]

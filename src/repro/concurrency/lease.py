@@ -1,10 +1,19 @@
-"""Lease with timeout.
+"""Leases with timeout: the global rename lock and read delegation.
 
 The §4.6 patch adds a kernel-side **global rename lock** for cross-directory
 renames of directories (the analogue of Linux VFS's ``s_vfs_rename_mutex``).
 Because a *malicious* LibFS could acquire it and never return, the lock is a
 lease: it expires after a timeout, after which the kernel may grant it to
 another application (and the stale holder's subsequent operations fail).
+
+:class:`DelegationTable` applies the same expiry discipline to **deferred
+verification**: when an application releases an inode, the kernel may grant
+it a short read-delegation lease instead of verifying immediately — the
+KucoFS-style observation that the common own-release/re-acquire pattern
+pays full verification for state nobody else ever observed.  Within the
+window the holder re-acquires without re-verification; any cross-app
+acquisition (in particular a write) revokes the lease and runs the deferred
+verification first.
 
 Time is injectable so tests can expire leases deterministically.
 """
@@ -13,11 +22,9 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Callable, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
-
-class LeaseExpired(Exception):
-    """An operation was attempted under a lease that has lapsed."""
+from repro.errors import LeaseExpired  # noqa: F401  (canonical home; re-exported)
 
 
 class Lease:
@@ -54,20 +61,29 @@ class Lease:
             return True
 
     def acquire(self, holder: str, timeout: float = 5.0, poll: float = 0.001) -> bool:
-        """Blocking acquire with a wall-clock timeout (polling)."""
+        """Blocking acquire with a wall-clock timeout.
+
+        Polls with exponential backoff from ``poll`` up to ``poll * 16``:
+        a contended lease is typically held for a whole rename, so a fixed
+        fine-grained spin burns CPU without acquiring any sooner.
+        """
         deadline = time.monotonic() + timeout
+        delay = poll
         while True:
             if self.try_acquire(holder):
                 return True
-            if time.monotonic() >= deadline:
+            now = time.monotonic()
+            if now >= deadline:
                 return False
-            time.sleep(poll)
+            time.sleep(min(delay, deadline - now))
+            delay = min(delay * 2, poll * 16)
 
     def release(self, holder: str) -> None:
         with self._lock:
             if self._holder != holder:
-                # Released after expiry + re-grant: the stale holder learns
-                # its lease lapsed.
+                # Released by a non-holder — either never granted, or granted
+                # then lapsed and re-granted elsewhere.  The stale holder must
+                # learn its lease is gone, so this raises rather than passing.
                 raise LeaseExpired(f"{self.name}: {holder} no longer holds the lease")
             self._holder = None
 
@@ -82,3 +98,84 @@ class Lease:
             if self._holder is None or self._expired_locked():
                 return None
             return self._holder
+
+
+class DelegationTable:
+    """Per-inode read-delegation leases for deferred verification.
+
+    One entry per inode whose verification the kernel has deferred: the
+    releasing application holds a lease of ``duration`` seconds during
+    which it alone may re-acquire the inode without re-verification.  The
+    table only tracks lease validity; the kernel controller owns the
+    deferred snapshots and runs the verification on revoke.
+    """
+
+    def __init__(
+        self,
+        name: str = "delegation",
+        duration: float = 0.05,
+        now_fn: Optional[Callable[[], float]] = None,
+    ):
+        self.name = name
+        self.duration = duration
+        self._now = now_fn or time.monotonic
+        self._lock = threading.Lock()
+        self._entries: Dict[int, Tuple[str, float]] = {}
+        self.grants = 0
+        self.hits = 0
+        self.revocations = 0
+        self.expirations = 0
+
+    def grant(self, ino: int, holder: str) -> None:
+        """(Re-)grant the delegation on ``ino`` to ``holder``."""
+        with self._lock:
+            self._entries[ino] = (holder, self._now() + self.duration)
+            self.grants += 1
+
+    def valid(self, ino: int, holder: str) -> bool:
+        """True iff ``holder`` holds a live delegation on ``ino``."""
+        with self._lock:
+            entry = self._entries.get(ino)
+            if entry is None:
+                return False
+            who, expires_at = entry
+            if self._now() >= expires_at:
+                del self._entries[ino]
+                self.expirations += 1
+                return False
+            if who != holder:
+                return False
+            self.hits += 1
+            return True
+
+    def holder(self, ino: int) -> Optional[str]:
+        """Who holds a live delegation on ``ino`` (None if lapsed/absent)."""
+        with self._lock:
+            entry = self._entries.get(ino)
+            if entry is None:
+                return None
+            who, expires_at = entry
+            if self._now() >= expires_at:
+                del self._entries[ino]
+                self.expirations += 1
+                return None
+            return who
+
+    def revoke(self, ino: int) -> Optional[str]:
+        """Drop the delegation on ``ino``; returns the (possibly lapsed)
+        holder if one was recorded."""
+        with self._lock:
+            entry = self._entries.pop(ino, None)
+            if entry is None:
+                return None
+            self.revocations += 1
+            return entry[0]
+
+    def live(self) -> List[int]:
+        """Inodes with a recorded (not necessarily still live) delegation."""
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -77,6 +77,21 @@ class ArckConfig:
     #: per-page store/zero behaviour.
     extent_batched_io: bool = True
 
+    #: Verifier worker threads per ownership transfer: page and dentry
+    #: checks are stride-sharded across this many threads
+    #: (``repro.kernel.vpipeline``).  ``1`` keeps the serial seed path.
+    verify_workers: int = 1
+
+    #: Lease-based read delegation: a release defers verification under a
+    #: short lease so the releasing app can re-acquire without re-verifying;
+    #: any cross-app acquisition revokes the lease and verifies first.
+    #: Off by default — every transfer verifies, as the paper's Table 4
+    #: measurements assume.
+    verify_delegation: bool = False
+
+    #: Read-delegation lease duration in seconds.
+    delegation_window: float = 0.05
+
     def with_patch(self, **flags: bool) -> "ArckConfig":
         """A copy with some patches toggled (for single-bug tests)."""
         return replace(self, **flags)

@@ -1,6 +1,6 @@
 """Exception hierarchy shared across the repro package.
 
-Two families live here:
+Three families live here:
 
 * Simulated hardware/OS faults (:class:`SimulatedSegfault`,
   :class:`SimulatedBusError`).  The paper observes real segfaults and bus
@@ -11,11 +11,37 @@ Two families live here:
 
 * File-system errors (:class:`FSError` and its subclasses), which mirror the
   POSIX errno values a real file system would return.
+
+* Protection-domain errors: the verifier's :class:`VerifyFailure`, the
+  controller's :class:`CorruptionDetected` and the lease layer's
+  :class:`LeaseExpired`.
+
+Everything a caller of the public API can catch derives from
+:class:`ReproError` and carries a stable ``.code`` — POSIX errno values for
+the :class:`FSError` family, repo-assigned values above 200 for the
+protection-domain family (they have no POSIX analogue).  The CLI maps codes
+to process exit statuses through :func:`exit_code_for`; see that function
+for the table.
 """
 
 from __future__ import annotations
 
 import errno
+
+
+class ReproError(Exception):
+    """Common base of every catchable error the repro package raises.
+
+    ``code`` is a stable errno-style integer: POSIX errno for file-system
+    errors, 200-range values for the protection-domain errors that have no
+    POSIX equivalent.  Subclasses set the class attribute ``CODE``.
+    """
+
+    CODE = 1
+
+    @property
+    def code(self) -> int:
+        return self.CODE
 
 
 class SimulatedFault(Exception):
@@ -38,12 +64,15 @@ class CrashPoint(Exception):
     """Raised by a failpoint to simulate a whole-machine crash at this site."""
 
 
-class CorruptionDetected(Exception):
-    """The integrity verifier rejected an inode's core state.
+class VerifyFailure(ReproError):
+    """The integrity verifier rejected an inode's core state (internal).
 
-    Carries enough context for the kernel controller to apply a resolution
-    policy (rollback or mark-inaccessible).
+    Raised inside the kernel controller and translated into
+    :class:`CorruptionDetected` after the resolution policy has run; also
+    the canonical re-export of ``repro.kernel.verifier``.
     """
+
+    CODE = 200
 
     def __init__(self, ino: int, reason: str):
         super().__init__(f"inode {ino}: {reason}")
@@ -51,13 +80,41 @@ class CorruptionDetected(Exception):
         self.reason = reason
 
 
-class FSError(OSError):
+class CorruptionDetected(ReproError):
+    """The integrity verifier rejected an inode's core state.
+
+    Carries enough context for the kernel controller to apply a resolution
+    policy (rollback or mark-inaccessible).
+    """
+
+    CODE = 201
+
+    def __init__(self, ino: int, reason: str):
+        super().__init__(f"inode {ino}: {reason}")
+        self.ino = ino
+        self.reason = reason
+
+
+class LeaseExpired(ReproError):
+    """An operation was attempted under a lease that has lapsed.
+
+    Canonical re-export of ``repro.concurrency.lease``.
+    """
+
+    CODE = 202
+
+
+class FSError(ReproError, OSError):
     """Base file-system error; ``errno`` mirrors the POSIX value."""
 
     ERRNO = errno.EIO
 
     def __init__(self, msg: str = ""):
         super().__init__(self.ERRNO, msg or self.__class__.__name__)
+
+    @property
+    def code(self) -> int:
+        return self.ERRNO
 
 
 class NoEntry(FSError):
@@ -114,3 +171,49 @@ class TryAgain(FSError):
     """Transient failure (e.g. the global rename lease is held elsewhere)."""
 
     ERRNO = errno.EAGAIN
+
+
+# --------------------------------------------------------------------------- #
+# CLI exit-code mapping
+# --------------------------------------------------------------------------- #
+
+#: Process exit statuses for ``python -m repro`` (see :func:`exit_code_for`).
+#: 0 is success; the fsck verb additionally uses 1 (repairable findings) and
+#: 2 (unrepairable findings) as its domain-specific statuses, which is why
+#: error classes start at 2.
+EXIT_USAGE = 2          # bad arguments / unknown workload (InvalidArgument)
+EXIT_FS_ERROR = 3       # any other FSError (ENOENT, EEXIST, ...)
+EXIT_CORRUPTION = 4     # VerifyFailure / CorruptionDetected
+EXIT_LEASE = 5          # LeaseExpired
+EXIT_NO_SPACE = 6       # NoSpace (ENOSPC)
+EXIT_OTHER = 7          # any other ReproError
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """Map an exception to the CLI's process exit status.
+
+    Every verb funnels :class:`ReproError` through this single table so the
+    same failure produces the same status everywhere:
+
+    ========================================  ====
+    exception                                 exit
+    ========================================  ====
+    ``InvalidArgument``                       2
+    ``NoSpace``                               6
+    other ``FSError``                         3
+    ``VerifyFailure`` / ``CorruptionDetected``  4
+    ``LeaseExpired``                          5
+    other ``ReproError``                      7
+    ========================================  ====
+    """
+    if isinstance(exc, InvalidArgument):
+        return EXIT_USAGE
+    if isinstance(exc, NoSpace):
+        return EXIT_NO_SPACE
+    if isinstance(exc, FSError):
+        return EXIT_FS_ERROR
+    if isinstance(exc, (VerifyFailure, CorruptionDetected)):
+        return EXIT_CORRUPTION
+    if isinstance(exc, LeaseExpired):
+        return EXIT_LEASE
+    return EXIT_OTHER

@@ -13,50 +13,12 @@ the algorithm.
 
 from __future__ import annotations
 
-import threading
-from typing import Callable, List, Sequence, TypeVar
-
+from repro.concurrency.parallel import (  # noqa: F401  (re-exported API)
+    run_parallel,
+    stride_shards,
+)
 from repro.perf.costmodel import COST
 from repro.pm.layout import PAGE_SIZE, InodeRecord
-
-T = TypeVar("T")
-
-
-def stride_shards(items: Sequence[T], workers: int) -> List[Sequence[T]]:
-    """Deal ``items`` round-robin into ``workers`` shards.
-
-    Striding (rather than contiguous ranges) balances the shards even when
-    the valid inodes cluster in the low slots of the table, which they do
-    on any volume that has never neared capacity.
-    """
-    workers = max(1, min(workers, len(items))) if items else 1
-    return [items[i::workers] for i in range(workers)]
-
-
-def run_parallel(jobs: Sequence[Callable[[], T]]) -> List[T]:
-    """Run every job on its own thread; propagate the first exception."""
-    if len(jobs) == 1:
-        return [jobs[0]()]
-    results: List[T] = [None] * len(jobs)  # type: ignore[list-item]
-    errors: List[BaseException] = []
-
-    def runner(i: int, job: Callable[[], T]) -> None:
-        try:
-            results[i] = job()
-        except BaseException as exc:  # noqa: BLE001 — re-raised below
-            errors.append(exc)
-
-    threads = [
-        threading.Thread(target=runner, args=(i, job), name=f"fsck-w{i}")
-        for i, job in enumerate(jobs)
-    ]
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join()
-    if errors:
-        raise errors[0]
-    return results
 
 
 # --------------------------------------------------------------------------- #

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Tuple
 
+from repro.api import Volume
 from repro.core.config import ARCKFS_PLUS, ArckConfig
 from repro.kernel.controller import KernelController
 from repro.libfs.libfs import LibFS
@@ -27,9 +28,10 @@ def build_volume(
     Layout is a pure function of the arguments, so every fsck test and the
     bench see identical trees.
     """
-    device = PMDevice(size, crash_tracking=crash_tracking)
-    kernel = KernelController.fresh(device, inode_count=inode_count, config=config)
-    fs = LibFS(kernel, "fsck-vol", uid=uid, config=config)
+    vol = Volume.create(size, inode_count=inode_count, config=config,
+                        crash_tracking=crash_tracking)
+    device, kernel = vol.device, vol.kernel
+    fs = vol.session("fsck-vol", uid=uid).fs
     dirnames = [f"/d{i}" for i in range(dirs)]
     for name in dirnames:
         fs.mkdir(name)

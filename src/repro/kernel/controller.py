@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro import obs
-from repro.concurrency.lease import Lease
+from repro.concurrency.lease import DelegationTable, Lease
 from repro.core.config import ARCKFS_PLUS, ArckConfig
 from repro.core.corestate import CoreState
 from repro.core.mkfs import ROOT_INO, load_geometry, mkfs
@@ -36,7 +36,8 @@ from repro.errors import (
 from repro.kernel.permissions import READ, WRITE, check_access
 from repro.kernel.policy import ResolutionPolicy, RollbackPolicy
 from repro.kernel.shadow import Acquisition, PendingInode, ShadowInode, Snapshot
-from repro.kernel.verifier import Verifier, VerifyFailure
+from repro.kernel.verifier import VerifyFailure
+from repro.kernel.vpipeline import PipelinedVerifier
 from repro.pm.allocator import PageAllocator
 from repro.pm.device import PMDevice
 from repro.pm.layout import ITYPE_DIR, InodeRecord
@@ -58,6 +59,12 @@ class KernelStats:
     revokes: int = 0
     verifications: int = 0
     bytes_verified: int = 0
+    #: releases whose verification was deferred under a read delegation.
+    delegated_releases: int = 0
+    #: re-acquires that rode a live delegation (no verify, no snapshot).
+    delegation_hits: int = 0
+    #: deferred verifications executed (revocation, expiry-miss, or drain).
+    deferred_verifications: int = 0
     snapshots: int = 0
     snapshot_bytes: int = 0
     rollbacks: int = 0
@@ -108,8 +115,11 @@ class KernelController:
         self.core = CoreState(device, self.geom)
         self.alloc = PageAllocator(device, self.geom,
                                    pool_pages=config.alloc_pool_pages)
-        self.verifier = Verifier(self)
+        # workers=1 degenerates to the serial path (no threads spawned).
+        self.verifier = PipelinedVerifier(self, workers=config.verify_workers)
         self.rename_lease = Lease("global-rename", duration=1.0)
+        self.delegations = DelegationTable("read-delegation",
+                                           duration=config.delegation_window)
         self.stats = KernelStats()
         self._lock = threading.RLock()
 
@@ -122,6 +132,9 @@ class KernelController:
         self.free_inodes: Set[int] = set()
         #: rollback target for inodes dirtied inside a trust group.
         self._group_snapshots: Dict[int, Snapshot] = {}
+        #: inodes with an outstanding deferred verification under a read
+        #: delegation: ino -> (holder app, rollback snapshot).
+        self._deferred: Dict[int, Tuple[str, Optional[Snapshot]]] = {}
         #: which app last owned each inode (auxiliary-state staleness hint).
         self._last_owner: Dict[int, str] = {}
         self.last_recovery: Optional[RecoveryReport] = None
@@ -280,6 +293,14 @@ class KernelController:
                     self.release(app_id, ino)
                 except CorruptionDetected:
                     pass
+            # A dead app cannot re-acquire: settle its deferred
+            # verifications instead of waiting for the lease to lapse.
+            for ino in [i for i, (h, _s) in self._deferred.items()
+                        if h == app_id and i not in self.acquisitions]:
+                try:
+                    self._delegation_exit_verify(ino)
+                except CorruptionDetected:
+                    pass
             for ino in [i for i, p in self.pending.items() if p.owner == app_id]:
                 del self.pending[ino]
                 self.free_inodes.add(ino)
@@ -347,6 +368,27 @@ class KernelController:
                 # Trust-group exit: verify deferred modifications now.
                 if sh.trusted_dirty_group is not None and sh.trusted_dirty_group != app.group:
                     self._group_exit_verify(ino)
+                if ino in self._deferred:
+                    if app.group is None and self.delegations.valid(ino, app_id):
+                        # Delegation hit: the holder re-acquires inside the
+                        # lease window.  The deferred verification keeps
+                        # riding and the original rollback snapshot is
+                        # reused — no verify, no fresh snapshot.
+                        mapping = Mapping(self.device, ino, tag=app_id)
+                        self.acquisitions[ino] = Acquisition(
+                            ino=ino, app_id=app_id, mapping=mapping,
+                            snapshot=self._deferred[ino][1], writable=write,
+                        )
+                        self._last_owner[ino] = app_id
+                        self.stats.acquires += 1
+                        self.stats.delegation_hits += 1
+                        obs.count("verify.delegation_hits")
+                        return mapping
+                    # Cross-app acquisition (the revoke-on-write of the
+                    # delegation contract — reads too: nothing unverified
+                    # may be observed by another app), a lapsed window, or
+                    # a grouped app: run the deferred verification first.
+                    self._delegation_exit_verify(ino)
             else:
                 if pend.owner != app_id:
                     raise PermissionDenied(f"inode {ino} pending for {pend.owner}")
@@ -420,6 +462,33 @@ class KernelController:
                 self.stats.group_skips += 1
                 self.stats.releases += 1
                 return
+            if (
+                self.config.verify_delegation
+                and app.group is None
+                and sh is not None
+                and not sh.is_dir
+                and not sh.inaccessible
+                and not sh.deleted_pending
+            ):
+                # Only regular files are delegable: a directory's staged
+                # dentries gate the I3 check of any child released after it,
+                # so deferring a directory would re-order verification.
+                # Defer verification under a read-delegation lease: keep the
+                # pre-dirty rollback snapshot (the one already deferred if
+                # this is a re-release within the window), grant the lease,
+                # and return without walking the inode.  Any cross-app
+                # acquisition — or the drain on shutdown — verifies later.
+                snap = (self._deferred[ino][1] if ino in self._deferred
+                        else acq.snapshot)
+                if snap is not None:
+                    self._deferred[ino] = (app_id, snap)
+                    self.delegations.grant(ino, app_id)
+                    acq.mapping.unmap()
+                    del self.acquisitions[ino]
+                    self.stats.delegated_releases += 1
+                    self.stats.releases += 1
+                    obs.count("verify.delegated_releases")
+                    return
             try:
                 self._verify_and_apply(acq, app_id)
             finally:
@@ -505,6 +574,51 @@ class KernelController:
             self.policy.resolve(self, acq.ino, acq.snapshot, vf.reason)
             raise CorruptionDetected(vf.ino, vf.reason) from vf
         self._apply(staged)
+        # The inode is verified as of now; any deferred verification (a
+        # commit during a delegation-hit period) is satisfied by this one.
+        self._clear_delegation(acq.ino)
+
+    def _delegation_exit_verify(self, ino: int) -> None:
+        """Run the deferred verification when a delegation ends.
+
+        Mirrors :meth:`_group_exit_verify`: verify against the retained
+        rollback snapshot; on failure the resolution policy runs and
+        ``CorruptionDetected`` propagates to whoever forced the revoke.
+        """
+        holder, snapshot = self._deferred.pop(ino)
+        self.delegations.revoke(ino)
+        self.stats.verifications += 1
+        self.stats.deferred_verifications += 1
+        obs.count("verify.deferred")
+        try:
+            staged = self.verifier.verify(ino, holder)
+        except VerifyFailure as vf:
+            obs.kernel_crossing("corruption_resolution")
+            self.policy.resolve(self, ino, snapshot, vf.reason)
+            raise CorruptionDetected(vf.ino, vf.reason) from vf
+        self._apply(staged)
+
+    def drain_delegations(self) -> int:
+        """Run every outstanding deferred verification now.
+
+        Called on volume close/quiesce so a drained volume is fully
+        verified (``repro fsck`` clean implies nothing is riding a lease).
+        Inodes currently re-acquired under a delegation hit are skipped —
+        their release (or :meth:`app_shutdown`) settles them.  Returns the
+        number of deferred verifications executed; corruption propagates.
+        """
+        with self._lock:
+            drained = 0
+            for ino in list(self._deferred):
+                if ino in self.acquisitions:
+                    continue
+                self._delegation_exit_verify(ino)
+                drained += 1
+            return drained
+
+    def _clear_delegation(self, ino: int) -> None:
+        if self._deferred.pop(ino, None) is not None:
+            self.delegations.revoke(ino)
 
     def _group_exit_verify(self, ino: int) -> None:
         """Deferred verification when an inode leaves its trust group."""
@@ -586,6 +700,7 @@ class KernelController:
             del self.page_owner[page_no]
         self.free_inodes.add(ino)
         self._group_snapshots.pop(ino, None)
+        self._clear_delegation(ino)
 
     def _snapshot(self, ino: int) -> Snapshot:
         """Capture the inode's full verified core state (rollback point)."""

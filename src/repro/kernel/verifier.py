@@ -31,10 +31,11 @@ has been released".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.config import ArckConfig
 from repro.core.corestate import CoreState
+from repro.errors import VerifyFailure  # noqa: F401  (canonical home; re-exported)
 from repro.pm.layout import (
     ITYPE_DIR,
     PAGE_KIND_DIRLOG,
@@ -42,15 +43,6 @@ from repro.pm.layout import (
     PAGE_SIZE,
     InodeRecord,
 )
-
-
-class VerifyFailure(Exception):
-    """Internal: verification rejected the inode's core state."""
-
-    def __init__(self, ino: int, reason: str):
-        super().__init__(f"inode {ino}: {reason}")
-        self.ino = ino
-        self.reason = reason
 
 
 @dataclass
@@ -81,7 +73,19 @@ class StagedUpdate:
 
 
 class Verifier:
-    """Checks one inode's core state against the shadow table."""
+    """Checks one inode's core state against the shadow table.
+
+    Verification decomposes into *enumerate* (serial chain walks over the
+    core state), per-item *checks* (pages, dentries, absent children — each
+    independent of the others), and *commit* (the returned
+    :class:`StagedUpdate`, applied by the controller under its lock).  The
+    per-item batches go through the ``_check_pages`` / ``_check_dentries``
+    / ``_check_absent_children`` hooks so that
+    :class:`~repro.kernel.vpipeline.PipelinedVerifier` can shard them
+    across worker threads while running *exactly* the same per-item code —
+    the serial/pipelined equivalence is by construction, and a property
+    test (``tests/property/test_verify_pipeline.py``) checks it anyway.
+    """
 
     def __init__(self, controller):
         # The controller owns shadow/pending/acquisitions/page_owner; we
@@ -184,111 +188,142 @@ class Verifier:
 
     def _verify_directory(self, ino: int, rec, sh, app_id, staged: StagedUpdate,
                           trusted: bool = False) -> None:
-        kc = self.kc
+        # Enumerate: walk the log page chain and parse the live dentries.
         pages = self.core.dir_pages(rec)
         if len(set(pages)) != len(pages):
             raise VerifyFailure(ino, "directory log page chain repeats a page")
         if not trusted:
-            for page_no in pages:
-                self._check_page(ino, page_no, PAGE_KIND_DIRLOG)
+            self._check_pages(ino, [(p, PAGE_KIND_DIRLOG) for p in pages])
         staged.pages.update(pages)
         staged.bytes_verified += len(pages) * PAGE_SIZE
 
         entries = self.core.live_dentries(rec)
+        # Check every present dentry, then every shadow child the log no
+        # longer shows; the absent pass needs the complete new-children map
+        # (an in-directory rename looks absent under its old name).
+        new_children = self._check_dentries(ino, sh, app_id, entries, staged, trusted)
+        self._check_absent_children(ino, sh, new_children, staged, trusted)
+        staged.new_children = new_children
+
+    # -- per-item batches (the pipelined verifier shards these) ------------ #
+
+    def _check_pages(self, ino: int, jobs: Sequence[Tuple[int, Optional[int]]]) -> None:
+        """Run :meth:`_check_page` for every ``(page_no, kind)`` job."""
+        for page_no, kind in jobs:
+            self._check_page(ino, page_no, kind)
+
+    def _check_dentries(self, ino: int, sh, app_id, entries, staged: StagedUpdate,
+                        trusted: bool) -> Dict[bytes, int]:
+        """Check every live dentry; returns the directory's new children."""
         new_children: Dict[bytes, int] = {}
-
         for name, d in entries.items():
-            if name in (b".", b"..") or b"/" in name or not name:
-                raise VerifyFailure(ino, f"illegal dentry name {name!r}")
-            new_children[name] = d.ino
-            known_child = sh.children.get(name)
-            child_sh = kc.shadow.get(d.ino)
-            child_pending = kc.pending.get(d.ino)
+            if self._check_dentry(ino, sh, app_id, name, d, staged, trusted):
+                new_children[name] = d.ino
+        return new_children
 
-            if known_child == d.ino and child_sh is not None and child_sh.gen == d.gen:
-                continue  # unchanged entry
+    def _check_absent_children(self, ino: int, sh, new_children: Dict[bytes, int],
+                               staged: StagedUpdate, trusted: bool) -> None:
+        """Check every shadow child whose dentry is gone from the log."""
+        linked = set(new_children.values())
+        for name, child_ino in sh.children.items():
+            self._check_absent_child(
+                ino, name, child_ino, new_children, linked, staged, trusted)
 
-            if trusted:
-                # §5.4: register/reparent without checks.
-                if child_sh is not None:
-                    staged.reparented.append((d.ino, ino, name))
-                elif child_pending is not None:
-                    child_rec = self.core.read_inode(d.ino)
-                    staged.bytes_verified += InodeRecord.SIZE
-                    if child_rec.valid:
-                        staged.created.append(
-                            (d.ino, d.gen, child_rec.itype, child_rec.mode,
-                             child_rec.uid, ino, name)
-                        )
-                    else:
-                        del new_children[name]
-                else:
-                    del new_children[name]
-                continue
+    # -- per-item checks (shared verbatim by serial and pipelined paths) --- #
 
+    def _check_dentry(self, ino: int, sh, app_id, name: bytes, d,
+                      staged: StagedUpdate, trusted: bool) -> bool:
+        """Check one live dentry; True iff it belongs in the children map."""
+        kc = self.kc
+        if name in (b".", b"..") or b"/" in name or not name:
+            raise VerifyFailure(ino, f"illegal dentry name {name!r}")
+        known_child = sh.children.get(name)
+        child_sh = kc.shadow.get(d.ino)
+        child_pending = kc.pending.get(d.ino)
+
+        if known_child == d.ino and child_sh is not None and child_sh.gen == d.gen:
+            return True  # unchanged entry
+
+        if trusted:
+            # §5.4: register/reparent without checks.
             if child_sh is not None:
-                # Existing inode appearing (or re-appearing) under this dir:
-                # an incoming rename.
-                if child_sh.gen != d.gen:
-                    raise VerifyFailure(
-                        ino, f"dentry {name!r} has stale generation for inode {d.ino}"
-                    )
-                if child_sh.parent == ino:
-                    # Same parent, new name: an in-directory rename; the old
-                    # name simply disappears (handled below).
-                    staged.reparented.append((d.ino, ino, name))
-                    continue
-                if child_sh.is_dir and self.config.shadow_parent_pointer:
-                    # Directory relocation is the per-operation-verified
-                    # special case of the §4.1 patch; plain file moves (e.g.
-                    # FxMark's MWRM) carry no I3 risk and need no checks.
-                    self._check_incoming_rename(ino, d.ino, child_sh, app_id)
-                # ArckFS mode: accepted unconditionally (no checks — which is
-                # why concurrent cross-renames can create a cycle, §4.6).
                 staged.reparented.append((d.ino, ino, name))
-            elif child_pending is not None:
-                # A creation by the owning application.
-                if app_id is not None and child_pending.owner != app_id:
-                    raise VerifyFailure(
-                        ino, f"dentry {name!r} references inode pending for another app"
-                    )
-                if child_pending.gen != d.gen:
-                    raise VerifyFailure(ino, f"dentry {name!r} generation mismatch")
+                return True
+            if child_pending is not None:
                 child_rec = self.core.read_inode(d.ino)
                 staged.bytes_verified += InodeRecord.SIZE
-                if not child_rec.valid:
-                    raise VerifyFailure(
-                        ino,
-                        f"dentry {name!r} committed but inode {d.ino} record invalid "
-                        "(partially persisted creation?)",
-                    )
-                if child_rec.gen != d.gen or child_rec.itype != d.itype:
-                    raise VerifyFailure(ino, f"dentry {name!r} disagrees with inode record")
-                staged.created.append(
-                    (d.ino, d.gen, child_rec.itype, child_rec.mode, child_rec.uid, ino, name)
-                )
-            else:
-                raise VerifyFailure(ino, f"dentry {name!r} references unknown inode {d.ino}")
-
-        # Children the shadow table knows but the log no longer shows.
-        for name, child_ino in sh.children.items():
-            if new_children.get(name) == child_ino:
-                continue
-            child_sh = kc.shadow.get(child_ino)
-            if child_sh is None:
-                continue  # already reclaimed
-            if child_ino in new_children.values():
-                continue  # in-directory rename handled above
-            if trusted:
-                child_rec = self.core.read_inode(child_ino)
                 if child_rec.valid:
-                    staged.detached.append(child_ino)
-                else:
-                    staged.deleted.append(child_ino)
-                continue
-            self._missing_child(ino, name, child_ino, child_sh, staged)
+                    staged.created.append(
+                        (d.ino, d.gen, child_rec.itype, child_rec.mode,
+                         child_rec.uid, ino, name)
+                    )
+                    return True
+            return False
 
-        staged.new_children = new_children
+        if child_sh is not None:
+            # Existing inode appearing (or re-appearing) under this dir:
+            # an incoming rename.
+            if child_sh.gen != d.gen:
+                raise VerifyFailure(
+                    ino, f"dentry {name!r} has stale generation for inode {d.ino}"
+                )
+            if child_sh.parent == ino:
+                # Same parent, new name: an in-directory rename; the old
+                # name simply disappears (handled in the absent pass).
+                staged.reparented.append((d.ino, ino, name))
+                return True
+            if child_sh.is_dir and self.config.shadow_parent_pointer:
+                # Directory relocation is the per-operation-verified
+                # special case of the §4.1 patch; plain file moves (e.g.
+                # FxMark's MWRM) carry no I3 risk and need no checks.
+                self._check_incoming_rename(ino, d.ino, child_sh, app_id)
+            # ArckFS mode: accepted unconditionally (no checks — which is
+            # why concurrent cross-renames can create a cycle, §4.6).
+            staged.reparented.append((d.ino, ino, name))
+        elif child_pending is not None:
+            # A creation by the owning application.
+            if app_id is not None and child_pending.owner != app_id:
+                raise VerifyFailure(
+                    ino, f"dentry {name!r} references inode pending for another app"
+                )
+            if child_pending.gen != d.gen:
+                raise VerifyFailure(ino, f"dentry {name!r} generation mismatch")
+            child_rec = self.core.read_inode(d.ino)
+            staged.bytes_verified += InodeRecord.SIZE
+            if not child_rec.valid:
+                raise VerifyFailure(
+                    ino,
+                    f"dentry {name!r} committed but inode {d.ino} record invalid "
+                    "(partially persisted creation?)",
+                )
+            if child_rec.gen != d.gen or child_rec.itype != d.itype:
+                raise VerifyFailure(ino, f"dentry {name!r} disagrees with inode record")
+            staged.created.append(
+                (d.ino, d.gen, child_rec.itype, child_rec.mode, child_rec.uid, ino, name)
+            )
+        else:
+            raise VerifyFailure(ino, f"dentry {name!r} references unknown inode {d.ino}")
+        return True
+
+    def _check_absent_child(self, ino: int, name: bytes, child_ino: int,
+                            new_children: Dict[bytes, int], linked: Set[int],
+                            staged: StagedUpdate, trusted: bool) -> None:
+        """Check one shadow child the log no longer shows under ``name``."""
+        if new_children.get(name) == child_ino:
+            return
+        child_sh = self.kc.shadow.get(child_ino)
+        if child_sh is None:
+            return  # already reclaimed
+        if child_ino in linked:
+            return  # in-directory rename handled by the dentry pass
+        if trusted:
+            child_rec = self.core.read_inode(child_ino)
+            if child_rec.valid:
+                staged.detached.append(child_ino)
+            else:
+                staged.deleted.append(child_ino)
+            return
+        self._missing_child(ino, name, child_ino, child_sh, staged)
 
     def _check_incoming_rename(self, new_parent: int, child_ino: int, child_sh, app_id) -> None:
         """The three ArckFS+ checks of §4.1 for re-targeting a parent pointer."""
@@ -374,16 +409,19 @@ class Verifier:
             staged.pages.update(self.core.index_pages(rec))
             staged.pages.update(self.core.file_pages(rec))
             return
+        # Enumerate both chains first, then hand all page checks to one
+        # batch — that is the unit the pipelined verifier shards.
         index_pages = self.core.index_pages(rec)
         if len(set(index_pages)) != len(index_pages):
             raise VerifyFailure(ino, "file index chain repeats a page")
-        for page_no in index_pages:
-            self._check_page(ino, page_no, PAGE_KIND_INDEX)
         data_pages = self.core.file_pages(rec)
         if len(set(data_pages)) != len(data_pages):
             raise VerifyFailure(ino, "file maps a data page twice")
-        for page_no in data_pages:
-            self._check_page(ino, page_no, None)
+        self._check_pages(
+            ino,
+            [(p, PAGE_KIND_INDEX) for p in index_pages]
+            + [(p, None) for p in data_pages],
+        )
         if rec.size > len(data_pages) * PAGE_SIZE:
             raise VerifyFailure(
                 ino, f"size {rec.size} exceeds mapped capacity {len(data_pages) * PAGE_SIZE}"

@@ -23,11 +23,10 @@ from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional
 
 from repro import obs
+from repro.api import Volume
 from repro.core.config import ARCKFS, ARCKFS_PLUS, ArckConfig
 from repro.errors import InvalidArgument
-from repro.kernel.controller import KernelController
 from repro.libfs.libfs import LibFS
-from repro.pm.device import PMDevice
 
 CONFIGS: Dict[str, ArckConfig] = {"arckfs": ARCKFS, "arckfs+": ARCKFS_PLUS}
 
@@ -123,12 +122,13 @@ def run_observed(
             )
     driver = resolve(spec)
     total_ops = threads * ops_per_thread
-    device = PMDevice(
-        64 * 1024 * 1024 + total_ops * 8192, crash_tracking=False
+    vol = Volume.create(
+        64 * 1024 * 1024 + total_ops * 8192,
+        inode_count=max(4096, 2 * total_ops + 512),
+        config=config,
     )
-    inode_count = max(4096, 2 * total_ops + 512)
-    kernel = KernelController.fresh(device, inode_count=inode_count, config=config)
-    libfs = LibFS(kernel, "obs", uid=0, config=config)
+    device, kernel = vol.device, vol.kernel
+    libfs = vol.session("obs", uid=0).fs
 
     driver.prepare(libfs, threads)
 

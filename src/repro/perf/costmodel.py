@@ -15,6 +15,7 @@ Three provenance classes, annotated per constant:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 
@@ -133,6 +134,22 @@ class CostModel:
     #: [calib] aux-state rebuild per dentry on re-acquire.
     rebuild_per_entry: float = 55.0
 
+    # -- pipelined deferred verification (kernel/vpipeline.py) ------------- #
+    #: [struct] serial enumerate stage: record read + staging setup.
+    verify_enumerate_fixed: float = 1200.0
+    #: [struct] per-page cost of the serial chain walk (index-slot reads).
+    verify_enumerate_per_page: float = 25.0
+    #: [calib] one page check: bitmap probe, owner lookup, header read.
+    #: 4096 B / verify_bw ≈ 2048 ns is the serial seed's per-page verify
+    #: cost; the check itself (metadata only, no payload walk) is ~600 ns.
+    verify_page_check: float = 600.0
+    #: [calib] one dentry check: shadow/pending lookups + record read.
+    verify_dentry_check: float = 350.0
+    #: [struct] serial commit stage: applying the StagedUpdate under the
+    #: controller lock.
+    verify_commit_fixed: float = 300.0
+    verify_commit_per_entry: float = 20.0
+
     # ------------------------------------------------------------------ #
     # Machine shape
     # ------------------------------------------------------------------ #
@@ -177,6 +194,30 @@ class CostModel:
         """Amortized per-alloc cost of the pooled path: every alloc pays the
         pool hit; one in ``batch`` additionally pays the refill."""
         return self.alloc_pool_hit + self.alloc_refill_time(batch) / batch
+
+    def verify_pipeline_time(self, pages: int, dentries: int = 0,
+                             workers: int = 1) -> float:
+        """One ownership-transfer verification with ``workers`` check shards.
+
+        Enumerate and commit are serial (the Amdahl fraction); the page and
+        dentry checks cost what their slowest stride shard costs — the same
+        convention as the fsck worker model.  ``workers=1`` is the serial
+        seed path.
+        """
+        w = max(1, workers)
+        serial = (self.verify_enumerate_fixed
+                  + pages * self.verify_enumerate_per_page
+                  + self.verify_commit_fixed
+                  + dentries * self.verify_commit_per_entry)
+        parallel = (math.ceil(pages / w) * self.verify_page_check
+                    + math.ceil(dentries / w) * self.verify_dentry_check)
+        return serial + parallel
+
+    def verify_speedup(self, pages: int, dentries: int = 0,
+                       workers: int = 8) -> float:
+        """Modeled verification-throughput speedup of ``workers`` over 1."""
+        return (self.verify_pipeline_time(pages, dentries, 1)
+                / self.verify_pipeline_time(pages, dentries, workers))
 
 
 #: The model instance used throughout the benchmarks.

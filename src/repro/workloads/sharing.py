@@ -125,41 +125,90 @@ def table4() -> List[SharingResult]:
 
 
 def run_functional_sharing(file_kib: int = 256, rounds: int = 4,
-                           trust_group: bool = False) -> Dict[str, float]:
+                           trust_group: bool = False,
+                           verify_workers: int = 1,
+                           delegation: bool = False,
+                           delegation_window: float = 5.0) -> Dict[str, float]:
     """Two real LibFS apps ping-pong writes to one shared file.
 
     Returns the kernel counters that embody the sharing cost: bytes
     verified and snapshotted per ownership transfer.  With a trust group,
     both collapse to (near) zero — the §5.4 claim, demonstrated on the
     functional stack rather than the analytic model.
-    """
-    from repro.core.config import ARCKFS_PLUS
-    from repro.kernel.controller import KernelController
-    from repro.libfs.libfs import LibFS
-    from repro.pm.device import PMDevice
 
-    device = PMDevice(max(64, 4 * file_kib // 1024 + 16) * 1024 * 1024,
-                      crash_tracking=False)
-    kernel = KernelController.fresh(device, inode_count=256, config=ARCKFS_PLUS)
+    ``verify_workers`` shards each transfer's verification across that many
+    threads (``repro.kernel.vpipeline``); the returned ``verify_*_units``
+    counters carry the pipeline's critical-path accounting.  ``delegation``
+    turns on lease-based deferred verification — the ping-pong is cross-app,
+    so every bounce still revokes and verifies, but the delegation counters
+    expose the grant/revoke traffic.
+    """
+    from repro.api import Volume
+
+    vol = Volume.create(
+        max(64, 4 * file_kib // 1024 + 16) * 1024 * 1024,
+        inode_count=256,
+        verify_workers=verify_workers,
+        verify_delegation=delegation,
+        delegation_window=delegation_window,
+    )
+    kernel = vol.kernel
     group = "g" if trust_group else None
-    apps = [
-        LibFS(kernel, "app1", uid=1000, config=ARCKFS_PLUS, group=group),
-        LibFS(kernel, "app2", uid=1000, config=ARCKFS_PLUS, group=group),
-    ]
-    apps[0].write_file("/shared", b"\0" * (file_kib * 1024))
-    apps[0].release_all()
-    v0 = kernel.stats.bytes_verified
-    s0 = kernel.stats.snapshot_bytes
-    for r in range(rounds):
-        app = apps[r % 2]
-        fd = app.open("/shared")
-        app.pwrite(fd, b"x" * 4096, (r * 4096) % (file_kib * 1024))
-        app.close(fd)
-        app.release_all()
-    transfers = rounds
-    return {
-        "bytes_verified_per_transfer": (kernel.stats.bytes_verified - v0) / transfers,
-        "snapshot_bytes_per_transfer": (kernel.stats.snapshot_bytes - s0) / transfers,
-        "group_skips": kernel.stats.group_skips,
-        "verifications": kernel.stats.verifications,
-    }
+    with vol:
+        apps = [vol.session("app1", group=group), vol.session("app2", group=group)]
+        apps[0].write_file("/shared", b"\0" * (file_kib * 1024))
+        apps[0].release_all()
+        v0 = kernel.stats.bytes_verified
+        s0 = kernel.stats.snapshot_bytes
+        for r in range(rounds):
+            app = apps[r % 2]
+            fd = app.open("/shared")
+            app.pwrite(fd, b"x" * 4096, (r * 4096) % (file_kib * 1024))
+            app.close(fd)
+            app.release_all()
+        transfers = rounds
+        pstats = kernel.verifier.pstats
+        out = {
+            "bytes_verified_per_transfer": (kernel.stats.bytes_verified - v0) / transfers,
+            "snapshot_bytes_per_transfer": (kernel.stats.snapshot_bytes - s0) / transfers,
+            "group_skips": kernel.stats.group_skips,
+            "verifications": kernel.stats.verifications,
+            "verify_total_units": pstats.total_units,
+            "verify_critical_units": pstats.critical_units,
+            "verify_shard_jobs": pstats.shard_jobs,
+            "delegated_releases": kernel.stats.delegated_releases,
+            "delegation_hits": kernel.stats.delegation_hits,
+            "deferred_verifications": kernel.stats.deferred_verifications,
+        }
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Verification scaling (the pipelined engine on the Table 4 round-trip)
+# --------------------------------------------------------------------------- #
+
+
+def verification_scaling(file_kib: int = 256,
+                         workers=(1, 2, 4, 8)) -> List[Dict[str, float]]:
+    """Modeled per-transfer verification time/speedup vs worker count.
+
+    The scenario is the 256 KiB shared-file round-trip: every ownership
+    bounce re-verifies the file's index page plus its data pages.  Times
+    come from the calibrated cost model's pipeline helper (serial
+    enumerate/commit + slowest check shard); speedups are relative to one
+    worker — the serial seed path.
+    """
+    from repro.perf.costmodel import COST
+
+    pages = file_kib * 1024 // PAGE + 1  # data pages + the index page
+    t1 = COST.verify_pipeline_time(pages, workers=1)
+    rows = []
+    for w in workers:
+        tw = COST.verify_pipeline_time(pages, workers=w)
+        rows.append({
+            "workers": w,
+            "pages": pages,
+            "ns_per_transfer": tw,
+            "speedup": t1 / tw,
+        })
+    return rows

@@ -1,0 +1,101 @@
+"""The `repro.api` Volume/Session facade."""
+
+import pytest
+
+from repro.api import Session, Volume
+from repro.core.config import ARCKFS, ARCKFS_PLUS
+from repro.errors import NoEntry
+
+
+class TestVolume:
+    def test_create_wires_the_stack(self):
+        with Volume.create(16 * 1024 * 1024, inode_count=64) as vol:
+            assert vol.kernel.device is vol.device
+            assert vol.config.name == ARCKFS_PLUS.name
+            assert repr(vol)
+
+    def test_session_is_a_working_libfs(self):
+        with Volume.create(16 * 1024 * 1024) as vol:
+            with vol.session("app1") as fs:
+                fs.mkdir("/d")
+                fs.write_file("/d/f", b"payload")
+                assert fs.read_file("/d/f") == b"payload"
+                assert isinstance(fs, Session)
+                assert not fs.closed
+            assert fs.closed
+
+    def test_session_exit_releases_everything(self):
+        with Volume.create(16 * 1024 * 1024) as vol:
+            with vol.session("app1") as fs:
+                fs.write_file("/f", b"x")
+            assert not vol.kernel.acquisitions
+            assert vol.kernel.stats.verifications >= 1
+
+    def test_mount_from_image(self):
+        vol = Volume.create(16 * 1024 * 1024, inode_count=64)
+        with vol.session("writer") as fs:
+            fs.write_file("/persisted", b"survives")
+        image = vol.device.durable_image()
+        vol.close()
+
+        with Volume.mount(image) as vol2:
+            assert vol2.recovery is not None
+            with vol2.session("reader") as fs2:
+                assert fs2.read_file("/persisted") == b"survives"
+
+    def test_mount_rejects_garbage(self):
+        with pytest.raises(Exception):
+            Volume.mount(b"\0" * 4096)
+
+    def test_config_and_tuning_overrides(self):
+        with Volume.create(16 * 1024 * 1024, config=ARCKFS,
+                           verify_workers=4, verify_delegation=True,
+                           delegation_window=1.5) as vol:
+            cfg = vol.config
+            assert cfg.verify_workers == 4
+            assert cfg.verify_delegation
+            assert cfg.delegation_window == 1.5
+            assert vol.kernel.verifier.workers == 4
+
+    def test_fsck_through_facade(self):
+        with Volume.create(16 * 1024 * 1024, verify_workers=4,
+                           verify_delegation=True) as vol:
+            with vol.session("app1") as fs:
+                fs.mkdir("/d")
+                for i in range(8):
+                    fs.write_file(f"/d/f{i}", b"z" * 4096)
+                    fd = fs.open(f"/d/f{i}")
+                    fs.close(fd)
+                fs.release_all()
+            vol.quiesce()
+            report = vol.fsck()
+            assert report.clean, report.summary()
+
+    def test_close_is_idempotent_and_shuts_sessions(self):
+        vol = Volume.create(16 * 1024 * 1024)
+        s1 = vol.session("a")
+        s2 = vol.session("b")
+        s1.write_file("/f", b"x")
+        vol.close()
+        assert s1.closed and s2.closed
+        vol.close()  # no-op
+
+    def test_sessions_raise_fs_errors_unchanged(self):
+        with Volume.create(16 * 1024 * 1024) as vol:
+            with vol.session("app1") as fs:
+                with pytest.raises(NoEntry):
+                    fs.open("/does-not-exist")
+
+    def test_old_constructors_still_work(self):
+        # The facade wraps — it does not replace — the layered API.
+        from repro.kernel.controller import KernelController
+        from repro.libfs.libfs import LibFS
+        from repro.pm.device import PMDevice
+
+        device = PMDevice(16 * 1024 * 1024)
+        kernel = KernelController.fresh(device, inode_count=64,
+                                        config=ARCKFS_PLUS)
+        fs = LibFS(kernel, "legacy", uid=1000)
+        fs.write_file("/f", b"old school")
+        fs.release_all()
+        assert kernel.stats.verifications >= 1

@@ -335,3 +335,90 @@ class TestFailpoints:
         point.release()
         t.join(2)
         assert log == ["before", "interleaved", "after"]
+
+
+class TestLeaseBackoff:
+    def test_release_by_never_holder_raises(self):
+        lease = Lease("rename", duration=10.0)
+        lease.try_acquire("app1")
+        with pytest.raises(LeaseExpired):
+            lease.release("intruder")
+        assert lease.held_by() == "app1"  # the real holder is unaffected
+
+    def test_acquire_backs_off_exponentially(self, monkeypatch):
+        from repro.concurrency import lease as lease_mod
+
+        clock = {"t": 0.0}
+        lease = Lease("rename", duration=100.0, now_fn=lambda: clock["t"])
+        lease.try_acquire("hoarder")
+        sleeps = []
+
+        def fake_sleep(d):
+            sleeps.append(d)
+            clock["t"] += d
+
+        monkeypatch.setattr(lease_mod.time, "monotonic", lambda: clock["t"])
+        monkeypatch.setattr(lease_mod.time, "sleep", fake_sleep)
+        assert not lease.acquire("other", timeout=1.0, poll=0.001)
+        # Doubles from poll and caps at poll*16 — far fewer wakeups than the
+        # old fixed-interval poll (1000 sleeps for this timeout).
+        assert sleeps[0] == pytest.approx(0.001)
+        assert sleeps[1] == pytest.approx(0.002)
+        assert sleeps[2] == pytest.approx(0.004)
+        assert max(sleeps) <= 0.016 + 1e-12
+        assert len(sleeps) < 100
+
+    def test_acquire_succeeds_after_release_despite_backoff(self):
+        lease = Lease("rename", duration=10.0)
+        lease.try_acquire("first")
+        got = []
+
+        def waiter():
+            got.append(lease.acquire("second", timeout=2.0, poll=0.001))
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        time.sleep(0.05)
+        lease.release("first")
+        t.join(3)
+        assert got == [True]
+
+
+class TestDelegationTable:
+    def make(self, duration=5.0):
+        from repro.concurrency import DelegationTable
+
+        self.clock = {"t": 0.0}
+        return DelegationTable("deleg", duration=duration,
+                               now_fn=lambda: self.clock["t"])
+
+    def test_grant_hit_and_holder(self):
+        table = self.make()
+        table.grant(7, "app1")
+        assert table.valid(7, "app1")
+        assert not table.valid(7, "app2")  # wrong holder, no hit
+        assert table.holder(7) == "app1"
+        assert table.hits == 1
+        assert len(table) == 1
+
+    def test_expiry_invalidates_and_drops(self):
+        table = self.make(duration=5.0)
+        table.grant(7, "app1")
+        self.clock["t"] = 6.0
+        assert not table.valid(7, "app1")
+        assert table.expirations == 1
+        assert len(table) == 0
+
+    def test_revoke_returns_holder(self):
+        table = self.make()
+        table.grant(7, "app1")
+        assert table.revoke(7) == "app1"
+        assert table.revoke(7) is None
+        assert table.revocations == 1
+        assert not table.valid(7, "app1")
+
+    def test_live_lists_entries(self):
+        table = self.make()
+        table.grant(1, "a")
+        table.grant(2, "b")
+        assert sorted(table.live()) == [1, 2]

@@ -1,0 +1,66 @@
+"""The unified error taxonomy and the CLI's exit-code mapping."""
+
+import errno
+
+import pytest
+
+from repro import errors as E
+from repro.cli import main
+
+
+class TestTaxonomy:
+    def test_everything_catchable_is_a_repro_error(self):
+        for exc in (E.NoEntry(), E.NoSpace(), E.InvalidArgument("x"),
+                    E.VerifyFailure(3, "bad"), E.CorruptionDetected(3, "bad"),
+                    E.LeaseExpired("gone")):
+            assert isinstance(exc, E.ReproError)
+
+    def test_fs_errors_remain_oserrors(self):
+        exc = E.NoEntry("missing")
+        assert isinstance(exc, OSError)
+        assert exc.errno == errno.ENOENT
+        assert exc.code == errno.ENOENT
+
+    def test_protection_domain_codes_are_stable(self):
+        assert E.VerifyFailure(1, "r").code == 200
+        assert E.CorruptionDetected(1, "r").code == 201
+        assert E.LeaseExpired().code == 202
+
+    def test_canonical_reexports(self):
+        from repro.concurrency.lease import LeaseExpired as L2
+        from repro.kernel.verifier import VerifyFailure as V2
+
+        assert V2 is E.VerifyFailure
+        assert L2 is E.LeaseExpired
+
+
+class TestExitCodes:
+    @pytest.mark.parametrize("exc,want", [
+        (E.InvalidArgument("x"), E.EXIT_USAGE),
+        (E.NoSpace(), E.EXIT_NO_SPACE),
+        (E.NoEntry(), E.EXIT_FS_ERROR),
+        (E.Exists(), E.EXIT_FS_ERROR),
+        (E.VerifyFailure(1, "r"), E.EXIT_CORRUPTION),
+        (E.CorruptionDetected(1, "r"), E.EXIT_CORRUPTION),
+        (E.LeaseExpired(), E.EXIT_LEASE),
+        (E.ReproError("other"), E.EXIT_OTHER),
+    ])
+    def test_mapping(self, exc, want):
+        assert E.exit_code_for(exc) == want
+
+    @pytest.mark.parametrize("exc,want", [
+        (E.NoSpace("volume full"), E.EXIT_NO_SPACE),
+        (E.CorruptionDetected(7, "uid changed"), E.EXIT_CORRUPTION),
+        (E.LeaseExpired("lapsed"), E.EXIT_LEASE),
+        (E.NoEntry("gone"), E.EXIT_FS_ERROR),
+    ])
+    def test_cli_maps_repro_errors(self, monkeypatch, capsys, exc, want):
+        import repro.cli as cli
+
+        def boom(args):
+            raise exc
+
+        monkeypatch.setitem(cli.TABLE_COMMANDS, "table4",
+                            (boom, "boom stand-in"))
+        assert main(["table4"]) == want
+        assert "error:" in capsys.readouterr().err
