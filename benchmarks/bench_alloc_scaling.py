@@ -28,6 +28,7 @@ import json
 import os
 import sys
 
+from repro import obs
 from repro.core.config import ArckConfig
 from repro.core.mkfs import mkfs
 from repro.kernel.controller import KernelController
@@ -230,8 +231,19 @@ def main(argv=None) -> int:
                     help="regenerate the checked-in baseline JSON")
     args = ap.parse_args(argv)
 
+    obs.reset()
+    obs.enable(trace=False, profile=True)
     results = collect()
+    obs.disable()
     print(render(results))
+
+    results_dir = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(results_dir, exist_ok=True)
+    obs.write_snapshot(
+        os.path.join(results_dir, "alloc_scaling.metrics.json"),
+        obs.metrics.snapshot(), bench="bench_alloc_scaling")
+    obs.profiler.write_collapsed(
+        os.path.join(results_dir, "alloc_scaling.collapsed"), weight="sim")
 
     if args.write_baseline:
         os.makedirs(os.path.dirname(BASELINE_PATH), exist_ok=True)

@@ -27,6 +27,7 @@ import json
 import os
 import sys
 
+from repro import obs
 from repro.api import Volume
 from repro.workloads.sharing import run_functional_sharing, verification_scaling
 
@@ -86,7 +87,8 @@ def functional_pipeline():
 def delegation_counts():
     """A hot reopen loop under read delegation, then a cross-app revoke."""
     with Volume.create(32 * 1024 * 1024, inode_count=128,
-                       verify_delegation=True, delegation_window=30.0) as vol:
+                       verify_delegation=True, delegation_window=30.0,
+                       name="delegation") as vol:
         a = vol.session("app1", uid=1000)
         b = vol.session("app2", uid=1000)
         a.write_file("/hot", b"\xa5" * 65536)
@@ -116,11 +118,22 @@ def delegation_counts():
 # --------------------------------------------------------------------------- #
 
 
+def critical_path():
+    """The 8-worker verify pipeline's slowest-shard breakdown.
+
+    Read from the call-path profiler after the functional run; ``None`` when
+    profiling is off (the pytest conftest and ``main`` both enable it).
+    """
+    pipe = obs.profiler.pipelines().get(f"verify.w{WORKERS[-1]}")
+    return pipe.critical_path() if pipe is not None else None
+
+
 def collect():
     return {
         "modeled": modeled_sweep(),
         "functional": functional_pipeline(),
         "delegation": delegation_counts(),
+        "critical_path": critical_path(),
     }
 
 
@@ -158,6 +171,22 @@ def render(results) -> str:
         f"{dg['delegation_hits']} lease hits, "
         f"{dg['deferred_verifications']} deferred verification(s)",
     ]
+    cp = results.get("critical_path")
+    if cp:
+        lines += [
+            "",
+            f"verify pipeline critical path ({cp['workers']} workers):",
+            f"  slowest worker (shard {cp['worker']}): "
+            f"{cp['total_ns']:,.0f} ns simulated, "
+            f"{cp['attributed_fraction'] * 100.0:.1f}% attributed to "
+            "named stages",
+        ]
+        for stage in sorted(cp["stages"], key=cp["stages"].get, reverse=True):
+            lines.append(f"    {stage:<16}{cp['stages'][stage]:>12,.0f} ns")
+        if cp["serial_ns"]:
+            lines.append(
+                f"  serial stages: {cp['serial_ns']:,.0f} ns "
+                f"({', '.join(sorted(cp['serial_stages']))})")
     return "\n".join(lines)
 
 
@@ -195,6 +224,15 @@ def smoke_compare(results, baseline) -> list:
             problems.append(
                 f"delegation {key} regressed: "
                 f"{dg[key]} < baseline {baseline['delegation'][key]}")
+    cp = results.get("critical_path")
+    if not cp:
+        problems.append("no verify-pipeline critical path recorded "
+                        "(profiler disabled during collect?)")
+    elif cp["attributed_fraction"] < 0.9:
+        problems.append(
+            "verify critical path under-attributed: "
+            f"{cp['attributed_fraction'] * 100.0:.1f}% of the slowest "
+            "worker's time explained by named stages (< 90%)")
     return problems
 
 
@@ -207,8 +245,19 @@ def main(argv=None) -> int:
                     help="regenerate the checked-in baseline JSON")
     args = ap.parse_args(argv)
 
+    obs.reset()
+    obs.enable(trace=False, profile=True)
     results = collect()
+    obs.disable()
     print(render(results))
+
+    results_dir = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(results_dir, exist_ok=True)
+    obs.write_snapshot(
+        os.path.join(results_dir, "sharing_scaling.metrics.json"),
+        obs.metrics.snapshot(), bench="bench_sharing_scaling")
+    obs.profiler.write_collapsed(
+        os.path.join(results_dir, "sharing_scaling.collapsed"), weight="sim")
 
     if args.write_baseline:
         os.makedirs(os.path.dirname(BASELINE_PATH), exist_ok=True)
@@ -262,6 +311,15 @@ def test_sharing_scaling(benchmark):
     assert dg["delegated_releases"] >= 4, dg
     assert dg["delegation_hits"] >= 3, dg
     assert dg["deferred_verifications"] >= 1, dg
+
+    # Critical-path attribution: the profiler must explain >= 90% of the
+    # slowest verify worker's simulated time by named pipeline stages.
+    cp = results["critical_path"]
+    assert cp is not None
+    assert cp["workers"] == WORKERS[-1], cp
+    assert cp["attributed_fraction"] >= 0.9, cp
+    assert "check_pages" in cp["stages"], cp
+    assert {"enumerate", "commit"} <= set(cp["serial_stages"]), cp
 
     save_and_print("sharing_scaling", render(results))
 

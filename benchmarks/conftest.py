@@ -1,10 +1,12 @@
 """Benchmark-harness helpers: result persistence and common factories.
 
-Every bench test runs with the metrics registry enabled (tracing stays off:
-span collection allocates, counters do not perturb the DES's virtual-time
-numbers).  At teardown the registry snapshot is written next to the table
-output as ``benchmarks/results/<test>.metrics.json`` — the per-bench
-observability sidecar.
+Every bench test runs with the metrics registry and the call-path profiler
+enabled (tracing stays off: span collection allocates, counters do not
+perturb the DES's virtual-time numbers).  At teardown the registry snapshot
+is written next to the table output as
+``benchmarks/results/<test>.metrics.json`` — the per-bench observability
+sidecar that ``python -m repro obs diff`` gates in CI — plus a
+``<test>.collapsed`` stack file (simulated-time weights) for flamegraphs.
 """
 
 import os
@@ -32,10 +34,11 @@ def save_and_print(name: str, text: str) -> None:
 def metrics_sidecar(request):
     """Collect metrics during each bench and persist them as a sidecar."""
     obs.reset()
-    obs.enable(trace=False)
+    obs.enable(trace=False, profile=True)
     yield
     obs.disable()
     snap = obs.metrics.snapshot()
+    collapsed = obs.profiler.collapsed(weight="sim")
     obs.reset()
     if not any(snap.values()):
         return
@@ -46,6 +49,9 @@ def metrics_sidecar(request):
         snap,
         bench=request.node.nodeid,
     )
+    if collapsed:
+        with open(os.path.join(RESULTS_DIR, f"{safe}.collapsed"), "w") as fh:
+            fh.write(collapsed + "\n")
 
 
 @pytest.fixture

@@ -30,9 +30,12 @@ verified.
 
 from __future__ import annotations
 
+import functools
+import itertools
 from dataclasses import replace
 from typing import List, Optional, Union
 
+from repro import obs
 from repro.core.config import ARCKFS_PLUS, ArckConfig
 from repro.kernel.controller import KernelController, RecoveryReport
 from repro.kernel.policy import ResolutionPolicy
@@ -72,11 +75,25 @@ class Session:
         self.volume = volume
         self.fs = fs
         self._open = True
+        #: Dimensional identity threaded into every forwarded call while
+        #: observability is on: metrics recorded under a session slice per
+        #: tenant (``libfs.syscall.count{app_id=...,op=...,volume=...}``).
+        self.labels = {"app_id": fs.app_id, "volume": volume.name}
 
     def __getattr__(self, name: str):
         # Only consulted for names not found on the Session itself: the
         # whole LibFS surface forwards (open, pwrite, mkdir, stats, ...).
-        return getattr(self.__dict__["fs"], name)
+        attr = getattr(self.__dict__["fs"], name)
+        if obs.enabled and callable(attr):
+            labels = self.__dict__["labels"]
+
+            @functools.wraps(attr)
+            def labelled(*args, **kwargs):
+                with obs.scoped_context(**labels):
+                    return attr(*args, **kwargs)
+
+            return labelled
+        return attr
 
     def __enter__(self) -> "Session":
         return self
@@ -97,7 +114,11 @@ class Session:
         if not self._open:
             return
         self._open = False
-        self.fs.shutdown()
+        if obs.enabled:
+            with obs.scoped_context(**self.labels):
+                self.fs.shutdown()
+        else:
+            self.fs.shutdown()
 
 
 class Volume:
@@ -108,9 +129,14 @@ class Volume:
     per-application LibFS instances — come from :meth:`session`.
     """
 
-    def __init__(self, device: PMDevice, kernel: KernelController):
+    #: Fallback names for anonymous volumes (vol0, vol1, ...), process-wide.
+    _names = itertools.count()
+
+    def __init__(self, device: PMDevice, kernel: KernelController,
+                 name: Optional[str] = None):
         self.device = device
         self.kernel = kernel
+        self.name = name or f"vol{next(Volume._names)}"
         self._sessions: List[Session] = []
 
     # ------------------------------------------------------------------ #
@@ -130,6 +156,7 @@ class Volume:
         verify_workers: Optional[int] = None,
         verify_delegation: Optional[bool] = None,
         delegation_window: Optional[float] = None,
+        name: Optional[str] = None,
     ) -> "Volume":
         """mkfs + mount a fresh volume of ``size`` bytes.
 
@@ -138,14 +165,15 @@ class Volume:
         pipelined-verification knobs — without the caller re-deriving a
         config.  ``crash_tracking=True`` enables the device's crash-state
         enumeration (needed by the §4.2 bug demos, off by default because
-        it shadows every store).
+        it shadows every store).  ``name`` is the volume's metrics label
+        (auto ``vol<N>`` when omitted).
         """
         config = _tune(config, verify_workers, verify_delegation, delegation_window)
         if device is None:
             device = PMDevice(size, crash_tracking=crash_tracking)
         kernel = KernelController.fresh(
             device, inode_count=inode_count, config=config, policy=policy)
-        return cls(device, kernel)
+        return cls(device, kernel, name=name)
 
     @classmethod
     def mount(
@@ -158,6 +186,7 @@ class Volume:
         verify_workers: Optional[int] = None,
         verify_delegation: Optional[bool] = None,
         delegation_window: Optional[float] = None,
+        name: Optional[str] = None,
     ) -> "Volume":
         """Mount an existing device, or a raw image (``bytes``) of one.
 
@@ -171,7 +200,7 @@ class Volume:
         else:
             device = source
         kernel = KernelController.mount(device, config=config, policy=policy)
-        return cls(device, kernel)
+        return cls(device, kernel, name=name)
 
     # ------------------------------------------------------------------ #
     # Sessions

@@ -11,12 +11,22 @@ Usage::
     python -m repro all
 
 Every table command accepts ``--json`` to emit the underlying data as JSON
-instead of the formatted table.  Two observability verbs run a *functional*
+instead of the formatted table.  The observability verbs run a *functional*
 workload (real LibFS + kernel controller, not the DES) with instrumentation
 enabled::
 
     python -m repro trace fxmark:MWCL --out trace.json   # chrome://tracing
     python -m repro metrics filebench:varmail            # counters + latency
+    python -m repro metrics fxmark:MWCL --format prom    # Prometheus text
+    python -m repro profile fxmark:MWCL --out p.collapsed  # flamegraph input
+    python -m repro top filebench:varmail --threads 4    # live registry view
+
+``repro obs diff`` is the perf-regression watchdog: it compares the
+``*.metrics.json`` sidecars the benches write against checked-in baselines
+with per-metric tolerance bands, exiting 1 when any metric leaves its band::
+
+    python -m repro obs diff benchmarks/results/*_scaling.metrics.json \
+        --baselines benchmarks/baselines
 
 The pytest benches (``pytest benchmarks/ --benchmark-only``) run the same
 code with assertions against the paper's numbers; this CLI is the quick,
@@ -204,14 +214,152 @@ def cmd_metrics(args) -> None:
 
     run = run_observed(args.workload, threads=args.threads,
                        ops_per_thread=args.ops, fs=args.fs)
-    if args.json:
+    fmt = "json" if args.json else args.format
+    if fmt == "json":
         print(json.dumps({"workload": args.workload, "fs": args.fs,
                           "threads": args.threads, "ops": run.ops,
                           "metrics": run.metrics},
                          indent=2, sort_keys=True))
+    elif fmt == "prom":
+        from repro.obs.export import to_prometheus
+
+        sys.stdout.write(to_prometheus(obs.metrics))
     else:
         print(format_snapshot(run.metrics,
                               title=f"{args.workload} on {args.fs}"))
+
+
+def cmd_profile(args) -> None:
+    from repro import obs
+    from repro.obs.driver import run_observed
+
+    run = run_observed(args.workload, threads=args.threads,
+                       ops_per_thread=args.ops, fs=args.fs, profile=True)
+    obs.profiler.write_collapsed(args.out, weight=args.weight)
+    stacks = len(obs.profiler.collapsed(args.weight).splitlines())
+    print(f"{args.workload}: {run.ops} ops on {args.threads} thread(s), "
+          f"{run.ops_per_sec:,.0f} ops/s")
+    print(f"wrote {stacks} collapsed stacks to {args.out} "
+          f"(weight={args.weight}; feed to flamegraph.pl or speedscope)")
+    print()
+    print(obs.profiler.report(top=args.top, weight=args.weight))
+    for _name, pipe in sorted(obs.profiler.pipelines().items()):
+        print()
+        print(pipe.report())
+
+
+def cmd_top(args) -> None:
+    import threading
+    import time
+
+    from repro import obs
+    from repro.obs.driver import run_observed
+    from repro.obs.export import render_top
+
+    box: Dict[str, object] = {}
+    errors: List[BaseException] = []
+
+    def runner() -> None:
+        try:
+            box["run"] = run_observed(args.workload, threads=args.threads,
+                                      ops_per_thread=args.ops, fs=args.fs)
+        except BaseException as exc:  # noqa: BLE001 - re-raised on the main thread
+            errors.append(exc)
+
+    title = f"{args.workload} on {args.fs}"
+    worker = threading.Thread(target=runner, daemon=True)
+    prev = None
+    prev_t = time.monotonic()
+    worker.start()
+    while worker.is_alive():
+        worker.join(args.interval)
+        cur = obs.metrics.snapshot()
+        now = time.monotonic()
+        frame = render_top(cur, prev, now - prev_t, title=title)
+        if sys.stdout.isatty():
+            print("\x1b[2J\x1b[H" + frame, flush=True)
+        else:
+            print(frame, end="\n\n", flush=True)
+        prev, prev_t = cur, now
+    if errors:
+        raise errors[0]
+    run = box["run"]
+    print(render_top(run.metrics, prev, max(time.monotonic() - prev_t, 1e-9),
+                     title=f"{title} (final)"))
+    print(f"\n{run.ops} ops on {run.threads} thread(s), "
+          f"{run.ops_per_sec:,.0f} ops/s")
+
+
+def cmd_obs_diff(args) -> int:
+    import os
+
+    from repro.obs import regress
+
+    rtol = regress.DEFAULT_RTOL if args.rtol is None else args.rtol
+    results: List[dict] = []
+    rc = 0
+    for sidecar in args.sidecars:
+        stem = os.path.basename(sidecar)
+        for suffix in (".metrics.json", ".json"):
+            if stem.endswith(suffix):
+                stem = stem[: -len(suffix)]
+                break
+        base_path = args.baseline or os.path.join(
+            args.baselines, stem + ".metrics.json")
+        try:
+            snapshot = regress.load_sidecar(sidecar)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read sidecar {sidecar}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if args.write_baseline:
+            doc = regress.make_baseline(snapshot, source=stem, rtol=rtol)
+            regress.write_baseline(base_path, doc)
+            results.append({"sidecar": sidecar, "baseline": base_path,
+                            "written": len(doc["metrics"]), "violations": []})
+            continue
+        if not os.path.exists(base_path):
+            print(f"error: no baseline for {sidecar} (expected {base_path}; "
+                  "use --write-baseline to create it)", file=sys.stderr)
+            return 2
+        try:
+            baseline = regress.load_baseline(base_path)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read baseline {base_path}: {exc}",
+                  file=sys.stderr)
+            return 2
+        violations = regress.compare(snapshot, baseline)
+        results.append({
+            "sidecar": sidecar,
+            "baseline": base_path,
+            "gated": len(baseline.get("metrics", {})),
+            "violations": [dataclasses.asdict(v) for v in violations],
+            "rendered": [str(v) for v in violations],
+            "new_metrics": regress.new_metrics(snapshot, baseline),
+        })
+        if violations:
+            rc = 1
+
+    if args.json:
+        print(json.dumps(results, indent=2, sort_keys=True))
+        return rc
+    for r in results:
+        if "written" in r:
+            print(f"{r['sidecar']}: wrote baseline {r['baseline']} "
+                  f"({r['written']} gated metrics)")
+            continue
+        if r["rendered"]:
+            print(f"{r['sidecar']}: {len(r['rendered'])} violation(s) "
+                  f"vs {r['baseline']}:")
+            for line in r["rendered"]:
+                print(f"  REGRESSION {line}")
+        else:
+            print(f"{r['sidecar']}: OK ({r['gated']} metrics within band "
+                  f"vs {r['baseline']})")
+        if r["new_metrics"]:
+            print(f"  note: {len(r['new_metrics'])} new metric(s) not yet "
+                  "gated (regenerate the baseline to gate them)")
+    return rc
 
 
 def cmd_fsck(args) -> int:
@@ -306,9 +454,59 @@ def build_parser() -> argparse.ArgumentParser:
     metrics = subs.add_parser(
         "metrics", help="run a workload with metrics, print the registry")
     _add_workload_options(metrics)
+    metrics.add_argument("--format", choices=["table", "json", "prom"],
+                         default="table",
+                         help="output format: human table (default), JSON, "
+                              "or Prometheus text exposition")
     metrics.add_argument("--json", action="store_true",
-                         help="emit the metrics snapshot as JSON")
+                         help="emit the metrics snapshot as JSON "
+                              "(same as --format json)")
     metrics.set_defaults(fn=cmd_metrics)
+
+    profile = subs.add_parser(
+        "profile", help="run a workload under the call-path profiler, write "
+                        "a collapsed-stack file")
+    _add_workload_options(profile)
+    profile.add_argument("--out", default="profile.collapsed",
+                         help="collapsed-stack output path "
+                              "(default profile.collapsed)")
+    profile.add_argument("--weight", choices=["wall", "sim"], default="wall",
+                         help="stack weights: wall-clock ns (default) or "
+                              "simulated cost-model ns")
+    profile.add_argument("--top", type=int, default=12,
+                         help="paths to show in the report (default 12)")
+    profile.set_defaults(fn=cmd_profile)
+
+    top = subs.add_parser(
+        "top", help="run a workload and watch the metrics registry live")
+    _add_workload_options(top)
+    top.add_argument("--interval", type=float, default=0.5,
+                     help="refresh interval in seconds (default 0.5)")
+    top.set_defaults(fn=cmd_top)
+
+    obs_cmd = subs.add_parser(
+        "obs", help="observability artifact tooling (regression diffs)")
+    obs_subs = obs_cmd.add_subparsers(dest="obs_what", required=True)
+    diff = obs_subs.add_parser(
+        "diff", help="compare *.metrics.json sidecars against checked-in "
+                     "baselines (exit 1 on any out-of-band metric)")
+    diff.add_argument("sidecars", nargs="+", metavar="SIDECAR",
+                      help="*.metrics.json sidecar files from a bench run")
+    diff.add_argument("--baselines", default="benchmarks/baselines",
+                      metavar="DIR",
+                      help="baseline directory, matched by sidecar stem "
+                           "(default benchmarks/baselines)")
+    diff.add_argument("--baseline", metavar="FILE",
+                      help="explicit baseline file (overrides --baselines)")
+    diff.add_argument("--write-baseline", action="store_true",
+                      help="capture the sidecar(s) as new baseline(s) "
+                           "instead of comparing")
+    diff.add_argument("--rtol", type=float, default=None,
+                      help="default relative tolerance when writing a "
+                           "baseline (default 0.05)")
+    diff.add_argument("--json", action="store_true",
+                      help="emit the comparison results as JSON")
+    diff.set_defaults(fn=cmd_obs_diff)
 
     fsck = subs.add_parser(
         "fsck", help="whole-volume check/repair (exit 0 clean, 1 findings, "
@@ -353,7 +551,19 @@ def main(argv=None) -> int:
             return rc or 0
     except ReproError as exc:
         detail = getattr(exc, "strerror", None) or exc
-        print(f"error: {detail}", file=sys.stderr)
+        span = getattr(exc, "span_path", None)
+        if getattr(args, "json", False):
+            print(json.dumps({
+                "error": str(detail),
+                "type": type(exc).__name__,
+                "code": getattr(exc, "code", None),
+                "exit": exit_code_for(exc),
+                "span_path": span,
+                "trace_id": getattr(exc, "trace_id", None),
+            }, indent=2, sort_keys=True))
+        else:
+            where = f" (at {span})" if span else ""
+            print(f"error: {detail}{where}", file=sys.stderr)
         return exit_code_for(exc)
     return 0
 

@@ -27,6 +27,7 @@ for the table.
 from __future__ import annotations
 
 import errno
+import sys
 
 
 class ReproError(Exception):
@@ -35,9 +36,25 @@ class ReproError(Exception):
     ``code`` is a stable errno-style integer: POSIX errno for file-system
     errors, 200-range values for the protection-domain errors that have no
     POSIX equivalent.  Subclasses set the class attribute ``CODE``.
+
+    When observability is collecting spans or profiler frames at construction
+    time, the instance additionally captures ``span_path`` (the raising
+    thread's open span stack, ``a;b;c``) and ``trace_id`` — so a CLI failure
+    under ``--json`` pinpoints the operation that raised from the artifacts
+    alone.  Both stay ``None`` in the disabled fast path; the lookup goes
+    through ``sys.modules`` so constructing an error never imports obs.
     """
 
     CODE = 1
+    span_path = None
+    trace_id = None
+
+    def __init__(self, *args: object):
+        super().__init__(*args)
+        obs = sys.modules.get("repro.obs")
+        if obs is not None and obs.enabled:
+            self.span_path = obs.current_span_path()
+            self.trace_id = obs.trace_id()
 
     @property
     def code(self) -> int:

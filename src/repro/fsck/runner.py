@@ -59,6 +59,7 @@ def _check_once(
 ) -> FsckReport:
     report = FsckReport(workers=workers)
     core = CoreState(device, geom)
+    pipe = obs.pipeline_profile(f"fsck.w{workers}")
 
     # -- phase 1: sharded scan ------------------------------------------- #
     with obs.span("fsck.scan", category="fsck", workers=workers):
@@ -71,10 +72,16 @@ def _check_once(
     for sh in shards:
         for s in sh.inodes:
             scans[s.ino] = s
-    scan_ns = max(
+    scan_costs = [
         parallel.scan_shard_cost(sh.records_read, sh.pages_read, sh.dentries_parsed)
         for sh in shards
-    )
+    ]
+    scan_ns = max(scan_costs)
+    if pipe is not None:
+        for i, ns in enumerate(scan_costs):
+            pipe.charge(i, "scan", ns)
+            pipe.add_worker_total(i, ns)
+        obs.charge(scan_ns, "fsck.scan")
     report.inodes_total = geom.inode_count
     report.inodes_valid = len(scans)
     report.dirs = sum(1 for s in scans.values() if s.rec.is_dir)
@@ -89,13 +96,19 @@ def _check_once(
             (lambda inos=inos: check.check_inodes(scans, inos, geom))
             for inos in per_shard_inos
         ])
-        check_ns = max(
+        check_costs = [
             parallel.check_shard_cost(
                 len(inos),
                 sum(len(list(scans[i].dentries())) for i in inos),
             )
             for inos, _fl in zip(per_shard_inos, finding_lists)
-        ) if per_shard_inos else 0.0
+        ]
+        check_ns = max(check_costs) if check_costs else 0.0
+        if pipe is not None:
+            for i, ns in enumerate(check_costs):
+                pipe.charge(i, "check", ns)
+                pipe.add_worker_total(i, ns)
+            obs.charge(check_ns, "fsck.check")
         for fl in finding_lists:
             report.findings.extend(fl)
 
@@ -106,6 +119,9 @@ def _check_once(
         report.findings.extend(graph_findings)
     report.pages_claimed = pages_claimed
     graph_ns = parallel.graph_cost(report.dentries, pages_claimed)
+    if pipe is not None:
+        pipe.charge_serial("graph", graph_ns)
+        obs.charge(graph_ns, "fsck.graph")
 
     # -- optional aux cross-check (DRAM vs PM, §4.4/§4.5) ------------------ #
     if libfs is not None:

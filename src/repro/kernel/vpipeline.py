@@ -87,11 +87,44 @@ class PipelinedVerifier(Verifier):
         self.pstats.verifications += 1
         with obs.span("verify.pipeline", category="kernel", ino=ino,
                       workers=self.workers):
-            return super().verify(ino, app_id, trusted=trusted)
+            staged = super().verify(ino, app_id, trusted=trusted)
+            pipe = self._pipe()
+            if pipe is not None:
+                from repro.perf.costmodel import COST
+
+                entries = (len(staged.created) + len(staged.reparented)
+                           + len(staged.deleted) + len(staged.detached))
+                commit_ns = (COST.verify_commit_fixed
+                             + entries * COST.verify_commit_per_entry)
+                pipe.charge_serial("commit", commit_ns)
+                obs.charge(commit_ns, "commit")
+            return staged
 
     # ------------------------------------------------------------------ #
     # Sharded batch stages
     # ------------------------------------------------------------------ #
+
+    def _pipe(self):
+        """The pipeline profile collecting this verifier's simulated-time
+        stage charges (None unless profiling is on)."""
+        return obs.pipeline_profile(f"verify.w{self.workers}")
+
+    def _charge_shards(self, pipe, stage: str, shards, per_unit: float) -> None:
+        """Charge each stride shard's modeled cost to its worker slot.
+
+        Worker totals additionally carry ``op_cpu`` dispatch overhead per
+        shard job, so critical-path attribution is measured against an
+        honest busy time rather than trivially summing to 100 %.
+        """
+        from repro.perf.costmodel import COST
+
+        crit = 0.0
+        for i, shard in enumerate(shards):
+            ns = len(shard) * per_unit
+            pipe.charge(i, stage, ns)
+            pipe.add_worker_total(i, ns + COST.op_cpu)
+            crit = max(crit, ns)
+        obs.charge(crit, stage)
 
     def _account(self, units: int, shards) -> None:
         self.pstats.total_units += units
@@ -105,6 +138,16 @@ class PipelinedVerifier(Verifier):
         obs.count("verify.pages", n)
         shards = stride_shards(jobs, self.workers)
         self._account(n, shards)
+        pipe = self._pipe()
+        if pipe is not None:
+            from repro.perf.costmodel import COST
+
+            enum_ns = (COST.verify_enumerate_fixed
+                       + n * COST.verify_enumerate_per_page)
+            pipe.charge_serial("enumerate", enum_ns)
+            obs.charge(enum_ns, "enumerate")
+            self._charge_shards(pipe, "check_pages", shards,
+                                COST.verify_page_check)
         if len(shards) == 1:
             super()._check_pages(ino, jobs)
             return
@@ -130,6 +173,12 @@ class PipelinedVerifier(Verifier):
         obs.count("verify.dentries", n)
         shards = stride_shards(items, self.workers)
         self._account(n, shards)
+        pipe = self._pipe()
+        if pipe is not None:
+            from repro.perf.costmodel import COST
+
+            self._charge_shards(pipe, "check_dentries", shards,
+                                COST.verify_dentry_check)
         if len(shards) == 1:
             return super()._check_dentries(ino, sh, app_id, entries, staged, trusted)
         self.pstats.shard_jobs += len(shards)
@@ -163,6 +212,12 @@ class PipelinedVerifier(Verifier):
         self.pstats.absent_checks += n
         shards = stride_shards(items, self.workers)
         self._account(n, shards)
+        pipe = self._pipe()
+        if pipe is not None:
+            from repro.perf.costmodel import COST
+
+            self._charge_shards(pipe, "check_absent", shards,
+                                COST.verify_dentry_check)
         if len(shards) == 1:
             super()._check_absent_children(ino, sh, new_children, staged, trusted)
             return

@@ -39,7 +39,10 @@ or from the command line::
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
+import threading
+from typing import Dict, Iterator, Optional
 
 from repro.obs.metrics import (  # noqa: F401  (re-exported API)
     LATENCY_BUCKETS_NS,
@@ -50,6 +53,12 @@ from repro.obs.metrics import (  # noqa: F401  (re-exported API)
     format_snapshot,
     write_snapshot,
 )
+from repro.obs.profile import (  # noqa: F401  (re-exported API)
+    PipelineProfile,
+    Profiler,
+    SpanFrame,
+    read_collapsed,
+)
 from repro.obs.trace import NULL_SPAN, Tracer, read_jsonl  # noqa: F401
 
 #: Master switch checked by every instrumented call site (module attribute,
@@ -59,12 +68,15 @@ enabled = False
 #: Process-wide singletons.
 tracer = Tracer()
 metrics = MetricsRegistry()
+profiler = Profiler()
 
 
-def enable(trace: bool = False) -> None:
-    """Turn instrumentation on; ``trace=True`` also collects spans."""
+def enable(trace: bool = False, profile: bool = False) -> None:
+    """Turn instrumentation on; ``trace=True`` also collects spans,
+    ``profile=True`` also attributes time to call paths."""
     global enabled
     tracer.enabled = trace
+    profiler.enabled = profile
     enabled = True
 
 
@@ -73,16 +85,70 @@ def disable() -> None:
     global enabled
     enabled = False
     tracer.enabled = False
+    profiler.enabled = False
 
 
 def reset() -> None:
     """Drop all collected metrics and spans (state, not the enabled flag)."""
     metrics.reset()
     tracer.reset()
+    profiler.reset()
 
 
 def is_enabled() -> bool:
     return enabled
+
+
+# --------------------------------------------------------------------------- #
+# Ambient dimensional labels (per-thread).  The repro.api facade sets
+# {app_id, volume} around every forwarded session call; instrumentation
+# helpers merge the ambient set into their own labels so each counter and
+# histogram can be sliced per tenant.  Explicit labels win on collision.
+# --------------------------------------------------------------------------- #
+
+_context = threading.local()
+
+
+def set_context(**labels: object) -> None:
+    """Set ambient labels on the calling thread (``None`` removes a key)."""
+    cur = dict(getattr(_context, "labels", None) or {})
+    for k, v in labels.items():
+        if v is None:
+            cur.pop(k, None)
+        else:
+            cur[k] = v
+    _context.labels = cur or None
+
+
+def clear_context() -> None:
+    _context.labels = None
+
+
+def context_labels() -> Dict[str, object]:
+    """The calling thread's ambient labels (a copy; empty when unset)."""
+    return dict(getattr(_context, "labels", None) or {})
+
+
+@contextlib.contextmanager
+def scoped_context(**labels: object) -> Iterator[None]:
+    """Merge ``labels`` into the ambient set for the dynamic extent."""
+    prev = getattr(_context, "labels", None)
+    merged = dict(prev or {})
+    merged.update({k: v for k, v in labels.items() if v is not None})
+    _context.labels = merged or None
+    try:
+        yield
+    finally:
+        _context.labels = prev
+
+
+def _merged(labels: Dict[str, object]) -> Dict[str, object]:
+    ambient = getattr(_context, "labels", None)
+    if not ambient:
+        return labels
+    out = dict(ambient)
+    out.update(labels)
+    return out
 
 
 # --------------------------------------------------------------------------- #
@@ -95,7 +161,7 @@ def is_enabled() -> bool:
 def count(name: str, n: int = 1, /, **labels: object) -> None:
     """Increment a counter (no-op when disabled)."""
     if enabled:
-        metrics.counter(name, **labels).inc(n)
+        metrics.counter(name, **_merged(labels)).inc(n)
 
 
 def kernel_crossing(reason: str) -> None:
@@ -106,7 +172,7 @@ def kernel_crossing(reason: str) -> None:
     ``rename_lease``, ``corruption_resolution``.
     """
     if enabled:
-        metrics.counter("kernel.crossings", reason=reason).inc()
+        metrics.counter("kernel.crossings", **_merged({"reason": reason})).inc()
         if tracer.enabled:
             tracer.instant(f"kernel.{reason}", category="kernel")
 
@@ -114,15 +180,67 @@ def kernel_crossing(reason: str) -> None:
 def lock_wait(kind: str, wait_ns: int) -> None:
     """One lock acquisition and the nanoseconds spent obtaining it."""
     if enabled:
-        metrics.counter("lock.acquisitions", kind=kind).inc()
-        metrics.counter("lock.wait_ns", kind=kind).inc(wait_ns)
+        labels = _merged({"kind": kind})
+        metrics.counter("lock.acquisitions", **labels).inc()
+        metrics.counter("lock.wait_ns", **labels).inc(wait_ns)
 
 
 def span(name: str, category: str = "op", **args: object):
-    """A tracer span, or the shared no-op when tracing is off."""
-    if enabled and tracer.enabled:
-        return tracer.span(name, category, **args)
+    """A tracer span and/or profiler frame, or the shared no-op.
+
+    One call site serves every collector: with tracing on it records a
+    timed span, with profiling on it charges a call-path frame, with both
+    on a :class:`SpanFrame` drives the pair in lockstep.
+    """
+    if not enabled:
+        return NULL_SPAN
+    sp = tracer.span(name, category, **args) if tracer.enabled else None
+    fr = profiler.frame(name) if profiler.enabled else None
+    if sp is not None and fr is not None:
+        return SpanFrame(sp, fr)
+    if sp is not None:
+        return sp
+    if fr is not None:
+        return fr
     return NULL_SPAN
+
+
+def charge(sim_ns: float, *suffix: str) -> None:
+    """Charge simulated (cost-model / DES) nanoseconds to the calling
+    thread's current profiler path; no-op unless profiling is on."""
+    if enabled and profiler.enabled:
+        profiler.charge(sim_ns, *suffix)
+
+
+def charge_path(path, sim_ns: float, calls: int = 0) -> None:
+    """Charge simulated nanoseconds to an explicit call path."""
+    if enabled and profiler.enabled:
+        profiler.charge_path(path, sim_ns, calls)
+
+
+def pipeline_profile(name: str) -> Optional[PipelineProfile]:
+    """The named pipeline profile, or ``None`` when profiling is off."""
+    if enabled and profiler.enabled:
+        return profiler.pipeline(name)
+    return None
+
+
+def current_span_path() -> Optional[str]:
+    """The calling thread's open span/frame path as ``a;b;c`` (or None)."""
+    if tracer.enabled:
+        names = tracer.stack_names()
+        if names:
+            return ";".join(names)
+    if profiler.enabled:
+        path = profiler.current_path()
+        if path:
+            return ";".join(path)
+    return None
+
+
+def trace_id() -> Optional[str]:
+    """The current trace's id (stable until the next :func:`reset`)."""
+    return tracer.trace_id if tracer.enabled else None
 
 
 def publish_stats(prefix: str, stats: object) -> None:

@@ -110,10 +110,11 @@ def run_observed(
     ops_per_thread: int = 64,
     fs: str = "arckfs+",
     trace: bool = False,
+    profile: bool = False,
     config: Optional[ArckConfig] = None,
 ) -> ObservedRun:
     """Build a stack, run ``spec`` observed, return metrics (and fill the
-    global tracer when ``trace``)."""
+    global tracer when ``trace`` / the global profiler when ``profile``)."""
     if config is None:
         config = CONFIGS.get(fs)
         if config is None:
@@ -126,6 +127,7 @@ def run_observed(
         64 * 1024 * 1024 + total_ops * 8192,
         inode_count=max(4096, 2 * total_ops + 512),
         config=config,
+        name="obs",
     )
     device, kernel = vol.device, vol.kernel
     libfs = vol.session("obs", uid=0).fs
@@ -138,10 +140,11 @@ def run_observed(
 
     was_enabled = obs.enabled
     obs.reset()
-    obs.enable(trace=trace)
+    obs.enable(trace=trace, profile=profile)
+    labels = {"app_id": libfs.app_id, "volume": vol.name}
     start = time.perf_counter_ns()
     try:
-        _run_threads(driver, libfs, threads, ops_per_thread)
+        _run_threads(driver, libfs, threads, ops_per_thread, labels)
     finally:
         wall_ns = time.perf_counter_ns() - start
         if not was_enabled:
@@ -173,17 +176,19 @@ def run_observed(
 
 
 def _run_threads(driver: WorkloadDriver, libfs: LibFS, threads: int,
-                 ops_per_thread: int) -> None:
+                 ops_per_thread: int, labels: Dict[str, object]) -> None:
     if threads == 1:
-        for i in range(ops_per_thread):
-            driver.step(libfs, 0, i)
+        with obs.scoped_context(**labels):
+            for i in range(ops_per_thread):
+                driver.step(libfs, 0, i)
         return
     errors: List[BaseException] = []
 
     def worker(tid: int) -> None:
         try:
-            for i in range(ops_per_thread):
-                driver.step(libfs, tid, i)
+            with obs.scoped_context(**labels):
+                for i in range(ops_per_thread):
+                    driver.step(libfs, tid, i)
         except BaseException as exc:  # noqa: BLE001 - surfaced to caller
             errors.append(exc)
 

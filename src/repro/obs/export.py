@@ -1,0 +1,139 @@
+"""Registry exporters: Prometheus text exposition and a ``top``-style view.
+
+:func:`to_prometheus` renders the live registry in the Prometheus text
+exposition format (version 0.0.4): counters as ``<name>_total``, gauges
+verbatim, histograms as cumulative ``_bucket{le=...}`` series plus
+``_sum``/``_count`` — so ``python -m repro metrics <wl> --format prom`` can
+be scraped, pushed to a gateway, or diffed with standard tooling.  Names
+are sanitized to the ``[a-zA-Z0-9_:]`` character set and prefixed
+(default ``repro``); dots become underscores, labels are escaped per spec.
+
+:func:`render_top` is the terminal half of ``python -m repro top``: given
+two registry snapshots and the interval between them it renders the hottest
+counters by rate, the gauges, and histogram latency summaries — a live
+``--watch`` view over a running workload.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import LabelsKey, MetricsRegistry
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    out = _NAME_RE.sub("_", f"{prefix}_{name}" if prefix else name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _prom_label_value(v: str) -> str:
+    return v.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _prom_labels(labels: LabelsKey, extra: Optional[List[tuple]] = None) -> str:
+    pairs = list(labels) + list(extra or [])
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{_NAME_RE.sub("_", k)}="{_prom_label_value(str(v))}"'
+        for k, v in pairs
+    )
+    return "{" + inner + "}"
+
+
+def _fmt(v: float) -> str:
+    if isinstance(v, float) and v.is_integer():
+        return str(int(v))
+    return repr(v) if isinstance(v, float) else str(v)
+
+
+def to_prometheus(registry: MetricsRegistry, prefix: str = "repro") -> str:
+    """The whole registry in Prometheus text exposition format."""
+    lines: List[str] = []
+    typed: set = set()
+
+    def declare(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for c in sorted(registry.counters(), key=lambda c: (c.name, c.labels)):
+        name = _prom_name(c.name, prefix) + "_total"
+        declare(name, "counter")
+        lines.append(f"{name}{_prom_labels(c.labels)} {c.value}")
+    for g in sorted(registry.gauges(), key=lambda g: (g.name, g.labels)):
+        name = _prom_name(g.name, prefix)
+        declare(name, "gauge")
+        lines.append(f"{name}{_prom_labels(g.labels)} {_fmt(g.value)}")
+    for h in sorted(registry.histograms(), key=lambda h: (h.name, h.labels)):
+        name = _prom_name(h.name, prefix)
+        declare(name, "histogram")
+        bounds, counts, count, total = h.bucket_counts()
+        cum = 0
+        for le, n in zip(bounds, counts):
+            cum += n
+            lines.append(
+                f"{name}_bucket{_prom_labels(h.labels, [('le', _fmt(float(le)))])}"
+                f" {cum}")
+        lines.append(
+            f"{name}_bucket{_prom_labels(h.labels, [('le', '+Inf')])} {count}")
+        lines.append(f"{name}_sum{_prom_labels(h.labels)} {_fmt(total)}")
+        lines.append(f"{name}_count{_prom_labels(h.labels)} {count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# --------------------------------------------------------------------------- #
+# The live "top" view
+# --------------------------------------------------------------------------- #
+
+
+def render_top(cur: Dict[str, Dict], prev: Optional[Dict[str, Dict]],
+               interval_s: float, *, title: str = "",
+               top: int = 15) -> str:
+    """One frame of the live registry view.
+
+    ``cur``/``prev`` are :meth:`MetricsRegistry.snapshot` dicts; rates come
+    from their counter deltas over ``interval_s``.  Pure function — the CLI
+    owns the loop, sleeping and screen-clearing.
+    """
+    lines: List[str] = []
+    header = "== repro top =="
+    if title:
+        header = f"== repro top: {title} =="
+    lines.append(header)
+
+    counters = cur.get("counters", {})
+    prev_counters = (prev or {}).get("counters", {})
+    rows = []
+    for name, value in counters.items():
+        delta = value - prev_counters.get(name, 0)
+        rate = delta / interval_s if interval_s > 0 else 0.0
+        rows.append((rate, delta, value, name))
+    rows.sort(key=lambda r: (-r[0], -r[2], r[3]))
+    if rows:
+        lines.append(f"{'counter':<44}{'total':>12}{'rate/s':>12}")
+        for rate, _delta, value, name in rows[:top]:
+            lines.append(f"{name:<44}{value:>12}{rate:>12,.0f}")
+
+    gauges = cur.get("gauges", {})
+    if gauges:
+        lines.append("")
+        lines.append(f"{'gauge':<44}{'value':>12}")
+        for name in sorted(gauges):
+            lines.append(f"{name:<44}{gauges[name]:>12,.1f}")
+
+    hists = cur.get("histograms", {})
+    if hists:
+        lines.append("")
+        lines.append(f"{'histogram (ns)':<38}{'count':>8}{'p50':>10}"
+                     f"{'p95':>10}{'p99':>10}")
+        for name in sorted(hists)[:top]:
+            s = hists[name]
+            lines.append(f"{name:<38}{s['count']:>8}{s['p50']:>10,.0f}"
+                         f"{s['p95']:>10,.0f}{s['p99']:>10,.0f}")
+    return "\n".join(lines)

@@ -47,10 +47,14 @@ def traced_syscall(opname: str) -> Callable[[F], F]:
                 _depth.n = depth
                 elapsed = time.perf_counter_ns() - start
                 reg = obs.metrics
-                reg.histogram(hist_name).observe(elapsed)
-                reg.counter("libfs.syscall.count", op=opname).inc()
+                # Ambient {app_id, volume} labels (set by the repro.api
+                # facade) dimension every syscall metric per tenant.
+                ambient = obs.context_labels()
+                reg.histogram(hist_name, **ambient).observe(elapsed)
+                reg.counter("libfs.syscall.count",
+                            **{**ambient, "op": opname}).inc()
                 if depth == 0:
-                    reg.histogram("libfs.syscall.ns").observe(elapsed)
+                    reg.histogram("libfs.syscall.ns", **ambient).observe(elapsed)
 
         return wrapper  # type: ignore[return-value]
 

@@ -135,33 +135,43 @@ class Histogram:
                 self.max = v
 
     def percentile(self, q: float) -> float:
-        """The q-th percentile (0 < q <= 100), bucket-interpolated."""
+        """The q-th percentile (0 < q <= 100), bucket-interpolated.
+
+        Edge cases are exact, not interpolated: an empty histogram reports
+        0.0, and when every observation is the same value (one sample, or a
+        constant stream) that value comes back for every percentile — even
+        when it is 0.0 or lands in the overflow bucket, where the previous
+        ``min or 0.0`` / ``max or bounds[-1]`` falsy checks went wrong.
+        """
         if not 0 < q <= 100:
             raise ValueError("percentile must be in (0, 100]")
         with self._lock:
-            if self.count == 0:
-                return 0.0
-            target = q / 100.0 * self.count
-            cum = 0
-            for idx, n in enumerate(self.counts):
-                if n == 0:
-                    continue
-                prev_cum = cum
-                cum += n
-                if cum >= target:
-                    lower = self.bounds[idx - 1] if idx > 0 else (self.min or 0.0)
-                    upper = (
-                        self.bounds[idx]
-                        if idx < len(self.bounds)
-                        else (self.max or self.bounds[-1])
-                    )
-                    lower = max(lower, self.min if self.min is not None else lower)
-                    upper = min(upper, self.max if self.max is not None else upper)
-                    if upper <= lower:
-                        return float(upper)
-                    frac = (target - prev_cum) / n
-                    return float(lower + (upper - lower) * frac)
-            return float(self.max or 0.0)  # pragma: no cover - defensive
+            count = self.count
+            counts = list(self.counts)
+            vmin, vmax = self.min, self.max
+        if count == 0:
+            return 0.0
+        if vmin == vmax:
+            return float(vmin)
+        target = q / 100.0 * count
+        cum = 0
+        for idx, n in enumerate(counts):
+            if n == 0:
+                continue
+            prev_cum = cum
+            cum += n
+            if cum >= target:
+                # Bucket edges clamped to the observed range; the overflow
+                # bucket's upper edge is the observed max.
+                lower = self.bounds[idx - 1] if idx > 0 else vmin
+                upper = (self.bounds[idx] if idx < len(self.bounds) else vmax)
+                lower = max(lower, vmin)
+                upper = min(upper, vmax)
+                if upper <= lower:
+                    return float(upper)
+                frac = min(1.0, max(0.0, (target - prev_cum) / n))
+                return float(lower + (upper - lower) * frac)
+        return float(vmax)  # pragma: no cover - defensive
 
     def merge(self, other: "Histogram") -> None:
         """Fold another histogram (same bounds) into this one, exactly."""
@@ -182,6 +192,12 @@ class Histogram:
                 self.min = omin
             if omax is not None and (self.max is None or omax > self.max):
                 self.max = omax
+
+    def bucket_counts(self) -> Tuple[Tuple[float, ...], List[int], int, float]:
+        """A consistent ``(bounds, counts, count, sum)`` snapshot — the raw
+        material for Prometheus's cumulative ``_bucket{le=...}`` series."""
+        with self._lock:
+            return self.bounds, list(self.counts), self.count, self.total
 
     def summary(self) -> Dict[str, float]:
         with self._lock:
@@ -244,6 +260,19 @@ class MetricsRegistry:
         """Sum of a counter over all of its label sets (0 if never created)."""
         return sum(c.value for (n, _), c in self._counters.items() if n == name)
 
+    def counters(self) -> List[Counter]:
+        """A consistent list of every live counter (for exporters)."""
+        with self._lock:
+            return list(self._counters.values())
+
+    def gauges(self) -> List[Gauge]:
+        with self._lock:
+            return list(self._gauges.values())
+
+    def histograms(self) -> List[Histogram]:
+        with self._lock:
+            return list(self._histograms.values())
+
     def snapshot(self) -> Dict[str, Dict]:
         """Everything, JSON-ready.  Labeled counters also roll up into their
         base name so ``counters["kernel.crossings"]`` is the total."""
@@ -260,12 +289,28 @@ class MetricsRegistry:
         # of the same name is one more child of the rollup).
         for name, total in totals.items():
             counters[name] = total
+        hist_out: Dict[str, Dict[str, float]] = {}
+        by_base: Dict[str, List[Histogram]] = {}
+        for (name, labels), h in hists:
+            hist_out[render_name(name, labels)] = h.summary()
+            by_base.setdefault(name, []).append(h)
+        # Labeled histograms roll up too: fixed buckets merge exactly, so
+        # the base-name summary is identical to observing everything into
+        # one histogram (skipped if label sets mix bucket bounds).
+        for name, group in by_base.items():
+            if len(group) == 1 and not group[0].labels:
+                continue
+            bounds = group[0].bounds
+            if any(h.bounds != bounds for h in group):
+                continue
+            agg = Histogram(name, bounds)
+            for h in group:
+                agg.merge(h)
+            hist_out[name] = agg.summary()
         return {
             "counters": counters,
             "gauges": {render_name(n, l): g.value for (n, l), g in gauges},
-            "histograms": {
-                render_name(n, l): h.summary() for (n, l), h in hists
-            },
+            "histograms": hist_out,
         }
 
     def reset(self) -> None:

@@ -1,0 +1,177 @@
+"""The perf-regression watchdog: metrics sidecars vs checked-in baselines.
+
+Every bench run writes a ``*.metrics.json`` sidecar (a
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` under a ``"metrics"``
+key).  This module compares such a sidecar against a checked-in baseline
+with **per-metric tolerance bands**, so CI answers "did this PR make a hot
+path slower / chattier?" mechanically:
+
+* :func:`flatten` turns a snapshot into ``{dotted-name: number}`` —
+  ``counters.kernel.crossings``, ``histograms.libfs.syscall.ns.count``, ...;
+* :func:`make_baseline` captures a snapshot plus tolerances into a
+  baseline document (JSON-ready);
+* :func:`compare` returns the :class:`Violation` list — a metric outside
+  ``baseline ± (atol + rtol·|baseline|)``, or present in the baseline but
+  missing from the run.
+
+Wall-clock-derived series (latency percentiles, ``*wait_ns*``, ``run.*``
+gauges) are ignored by default — they are honest measurements but not
+deterministic, and a regression gate that flakes is a gate that gets
+deleted.  The deterministic counters (kernel crossings, fences, lock
+acquisitions, verified units, simulated DES time) are exactly the numbers
+the paper's claims live in, and they must not drift silently.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+#: Default relative tolerance: generous enough for intentional cost-model
+#: recalibration, far tighter than any real regression.
+DEFAULT_RTOL = 0.05
+
+#: Metrics excluded from the gate unless a baseline opts them back in:
+#: anything derived from the host's wall clock or run shape.
+DEFAULT_IGNORE = (
+    "*.p50", "*.p95", "*.p99", "*.mean", "*.min", "*.max", "*.sum",
+    "*wait_ns*",
+    "*wall*",
+    "*ops_per_sec*",
+    "gauges.run.*",
+    "gauges.des.mops*",
+)
+
+
+def flatten(snapshot: Dict[str, Dict]) -> Dict[str, float]:
+    """A snapshot as flat ``{family.name[.stat]: value}`` pairs."""
+    out: Dict[str, float] = {}
+    for name, value in snapshot.get("counters", {}).items():
+        out[f"counters.{name}"] = value
+    for name, value in snapshot.get("gauges", {}).items():
+        out[f"gauges.{name}"] = value
+    for name, summary in snapshot.get("histograms", {}).items():
+        for stat, value in summary.items():
+            out[f"histograms.{name}.{stat}"] = value
+    return out
+
+
+def _ignored(metric: str, patterns: Sequence[str]) -> bool:
+    return any(fnmatch.fnmatch(metric, p) for p in patterns)
+
+
+@dataclass
+class Violation:
+    """One metric outside its tolerance band (or missing entirely)."""
+
+    metric: str
+    baseline: float
+    lo: float
+    hi: float
+    current: Optional[float]  # None == present in baseline, absent in run
+
+    def __str__(self) -> str:
+        if self.current is None:
+            return (f"{self.metric}: missing from run "
+                    f"(baseline {self.baseline:g})")
+        return (f"{self.metric}: {self.current:g} outside "
+                f"[{self.lo:g}, {self.hi:g}] (baseline {self.baseline:g})")
+
+
+def make_baseline(
+    snapshot: Dict[str, Dict],
+    *,
+    source: str = "",
+    rtol: float = DEFAULT_RTOL,
+    atol: float = 0.0,
+    ignore: Sequence[str] = DEFAULT_IGNORE,
+    overrides: Optional[Dict[str, Dict[str, float]]] = None,
+) -> Dict[str, object]:
+    """Capture ``snapshot`` as a baseline document.
+
+    ``overrides`` maps metric names to ``{"rtol": ..., "atol": ...}`` for
+    per-metric bands; everything else uses the defaults.  The document is
+    plain JSON — check it in next to the bench baselines.
+    """
+    metrics = {
+        name: value for name, value in sorted(flatten(snapshot).items())
+        if not _ignored(name, ignore)
+    }
+    doc: Dict[str, object] = {
+        "kind": "repro-metrics-baseline",
+        "source": source,
+        "rtol": rtol,
+        "atol": atol,
+        "ignore": list(ignore),
+        "metrics": metrics,
+    }
+    if overrides:
+        doc["overrides"] = overrides
+    return doc
+
+
+def compare(snapshot: Dict[str, Dict],
+            baseline: Dict[str, object]) -> List[Violation]:
+    """Violations of ``snapshot`` against ``baseline``; empty == pass.
+
+    Metrics new in the run (absent from the baseline) are not violations —
+    instrumentation growth is expected; regenerate the baseline to start
+    gating them.
+    """
+    flat = flatten(snapshot)
+    rtol = float(baseline.get("rtol", DEFAULT_RTOL))
+    atol = float(baseline.get("atol", 0.0))
+    ignore = baseline.get("ignore", DEFAULT_IGNORE)
+    overrides = baseline.get("overrides", {}) or {}
+    violations: List[Violation] = []
+    for metric, base in baseline.get("metrics", {}).items():
+        if _ignored(metric, ignore):
+            continue
+        band = overrides.get(metric, {})
+        r = float(band.get("rtol", rtol))
+        a = float(band.get("atol", atol))
+        slack = a + r * abs(base)
+        lo, hi = base - slack, base + slack
+        cur = flat.get(metric)
+        if cur is None:
+            violations.append(Violation(metric, base, lo, hi, None))
+        elif not lo <= cur <= hi:
+            violations.append(Violation(metric, base, lo, hi, cur))
+    return violations
+
+
+def new_metrics(snapshot: Dict[str, Dict],
+                baseline: Dict[str, object]) -> List[str]:
+    """Metrics present in the run but not yet gated by the baseline."""
+    ignore = baseline.get("ignore", DEFAULT_IGNORE)
+    known = baseline.get("metrics", {})
+    return sorted(
+        name for name in flatten(snapshot)
+        if name not in known and not _ignored(name, ignore)
+    )
+
+
+def load_sidecar(path: str) -> Dict[str, Dict]:
+    """A metrics snapshot from a sidecar file (``write_snapshot`` output or
+    a bare snapshot dict)."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if "metrics" in doc and isinstance(doc["metrics"], dict):
+        return doc["metrics"]
+    return doc
+
+
+def load_baseline(path: str) -> Dict[str, object]:
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("kind") != "repro-metrics-baseline":
+        raise ValueError(f"{path} is not a repro metrics baseline")
+    return doc
+
+
+def write_baseline(path: str, doc: Dict[str, object]) -> None:
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")

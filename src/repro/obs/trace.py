@@ -95,6 +95,7 @@ class Tracer:
         self._tids: Dict[int, int] = {}
         self._local = threading.local()
         self._epoch_ns = time.perf_counter_ns()
+        self.trace_id = f"t{self._epoch_ns:x}"
 
     # -- lifecycle ---------------------------------------------------------- #
 
@@ -104,6 +105,7 @@ class Tracer:
             self._tids = {}
             self.dropped = 0
             self._epoch_ns = time.perf_counter_ns()
+            self.trace_id = f"t{self._epoch_ns:x}"
 
     # -- recording ----------------------------------------------------------- #
 
@@ -120,6 +122,10 @@ class Tracer:
         if stack is None:
             stack = self._local.stack = []
         return stack
+
+    def stack_names(self) -> List[str]:
+        """The calling thread's open span names, root first."""
+        return [sp.name for sp in self._stack()]
 
     def span(self, name: str, category: str = "op", **args: object):
         """Open a nested span on the calling thread (context manager)."""

@@ -120,6 +120,12 @@ def run_workload(
     )
     if obs.enabled:
         result.metrics = _publish_des_run(exp, result, horizon_ns)
+        # Simulated thread time charges to explicit paths: DES threads are
+        # virtual, so there is no live frame stack to ride on.
+        for t in stats:
+            obs.charge_path(
+                ("des", f"{fs}:{result.workload}@{threads}t", f"thread{t.tid}"),
+                t.op_time, calls=t.ops)
     return result
 
 

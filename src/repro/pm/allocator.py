@@ -259,6 +259,18 @@ class PageAllocator:
         if pages:
             obs.count("alloc.pool_refills")
             obs.count("alloc.refill_pages", len(pages))
+            pipe = obs.pipeline_profile("alloc")
+            if pipe is not None:
+                from repro.perf.costmodel import COST
+
+                # Per-thread pools are the "workers" of this pipeline: each
+                # refill charges its modeled in-lock time to the refilling
+                # thread, so the critical path is the busiest pool.
+                ns = COST.alloc_refill_time(len(pages))
+                worker = threading.current_thread().name
+                pipe.charge(worker, "refill", ns)
+                pipe.add_worker_total(worker, ns)
+                obs.charge(ns, "alloc.refill")
         return pages
 
     def _steal(self, own: _ThreadPool) -> Optional[int]:

@@ -151,6 +151,7 @@ def run_functional_sharing(file_kib: int = 256, rounds: int = 4,
         verify_workers=verify_workers,
         verify_delegation=delegation,
         delegation_window=delegation_window,
+        name="sharing",
     )
     kernel = vol.kernel
     group = "g" if trust_group else None

@@ -99,3 +99,42 @@ class TestVolume:
         fs.write_file("/f", b"old school")
         fs.release_all()
         assert kernel.stats.verifications >= 1
+
+
+class TestDimensionalIdentity:
+    def test_volume_names_explicit_and_auto(self):
+        with Volume.create(16 * 1024 * 1024, name="scratch") as vol:
+            assert vol.name == "scratch"
+        with Volume.create(16 * 1024 * 1024) as a, \
+                Volume.create(16 * 1024 * 1024) as b:
+            assert a.name.startswith("vol") and b.name.startswith("vol")
+            assert a.name != b.name
+
+    def test_session_labels_identify_app_and_volume(self):
+        with Volume.create(16 * 1024 * 1024, name="v") as vol:
+            with vol.session("app1") as fs:
+                assert fs.labels == {"app_id": "app1", "volume": "v"}
+
+    def test_facade_calls_carry_ambient_labels_into_metrics(self):
+        from repro import obs
+
+        with Volume.create(16 * 1024 * 1024, name="metricsvol") as vol:
+            with vol.session("worker") as fs:
+                obs.enable()
+                fd = fs.creat("/labelled.bin")
+                fs.pwrite(fd, b"x" * 64, 0)
+                fs.close(fd)
+                obs.disable()
+        c = obs.metrics.snapshot()["counters"]
+        key = "libfs.syscall.count{app_id=worker,op=creat,volume=metricsvol}"
+        assert c[key] == 1
+        # The base name still aggregates across the labelled series.
+        assert c["libfs.syscall.count"] >= 3
+
+    def test_labels_do_not_leak_after_the_call(self):
+        from repro import obs
+
+        with Volume.create(16 * 1024 * 1024) as vol:
+            with vol.session("leaky") as fs:
+                fs.write_file("/f", b"data")
+                assert obs.context_labels() == {}

@@ -62,3 +62,106 @@ def test_metrics_unknown_workload_rejected(capsys):
     assert main(["metrics", "fxmark:NOSUCH"]) == 2
     err = capsys.readouterr().err
     assert "unknown fxmark workload" in err and "MWCL" in err
+
+
+def test_profile_writes_round_trippable_collapsed(tmp_path, capsys):
+    from repro.obs.profile import read_collapsed
+
+    out = tmp_path / "p.collapsed"
+    assert main(["profile", "filebench:varmail", "--ops", "4",
+                 "--out", str(out)]) == 0
+    stacks = read_collapsed(str(out))
+    assert stacks and all(w > 0 for w in stacks.values())
+    text = capsys.readouterr().out
+    assert "stacks" in text and str(out) in text
+
+
+def test_metrics_format_prom(capsys):
+    assert main(["metrics", "fxmark:MWCL", "--ops", "4",
+                 "--format", "prom"]) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE repro_kernel_crossings_total counter" in out
+    assert "repro_libfs_syscall_ns_bucket" in out
+
+
+def test_metrics_json_error_doc_has_span_path(capsys):
+    import json
+
+    assert main(["metrics", "fxmark:NOSUCH", "--json"]) == 2
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["type"] == "InvalidArgument"
+    assert doc["exit"] == 2
+    assert "span_path" in doc and "trace_id" in doc
+
+
+def _write_sidecar(path, snapshot):
+    import json
+
+    path.write_text(json.dumps({"bench": "unit", "metrics": snapshot}))
+
+
+_SNAP = {"counters": {"kernel.crossings": 100},
+         "gauges": {},
+         "histograms": {}}
+
+
+def test_obs_diff_write_baseline_then_pass(tmp_path, capsys):
+    sidecar = tmp_path / "unit.metrics.json"
+    _write_sidecar(sidecar, _SNAP)
+    base = tmp_path / "unit-base.metrics.json"
+    assert main(["obs", "diff", str(sidecar),
+                 "--write-baseline", "--baseline", str(base)]) == 0
+    assert base.exists()
+    capsys.readouterr()
+    assert main(["obs", "diff", str(sidecar), "--baseline", str(base)]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_obs_diff_fails_on_out_of_band_metric(tmp_path, capsys):
+    sidecar = tmp_path / "unit.metrics.json"
+    _write_sidecar(sidecar, _SNAP)
+    base = tmp_path / "unit-base.metrics.json"
+    assert main(["obs", "diff", str(sidecar),
+                 "--write-baseline", "--baseline", str(base)]) == 0
+    bad = {"counters": {"kernel.crossings": 200}, "gauges": {},
+           "histograms": {}}
+    _write_sidecar(sidecar, bad)
+    capsys.readouterr()
+    assert main(["obs", "diff", str(sidecar), "--baseline", str(base)]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out and "kernel.crossings" in out
+
+
+def test_obs_diff_missing_baseline_is_distinct_exit(tmp_path, capsys):
+    sidecar = tmp_path / "unit.metrics.json"
+    _write_sidecar(sidecar, _SNAP)
+    assert main(["obs", "diff", str(sidecar),
+                 "--baselines", str(tmp_path / "nowhere")]) == 2
+    assert "no baseline" in capsys.readouterr().err
+
+
+def test_obs_diff_json_report(tmp_path, capsys):
+    import json
+
+    sidecar = tmp_path / "unit.metrics.json"
+    _write_sidecar(sidecar, _SNAP)
+    base = tmp_path / "unit-base.metrics.json"
+    assert main(["obs", "diff", str(sidecar),
+                 "--write-baseline", "--baseline", str(base)]) == 0
+    capsys.readouterr()
+    assert main(["obs", "diff", str(sidecar), "--baseline", str(base),
+                 "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc[0]["gated"] >= 1 and doc[0]["violations"] == []
+
+
+def test_obs_diff_unreadable_inputs_report_cleanly(tmp_path, capsys):
+    assert main(["obs", "diff", str(tmp_path / "absent.metrics.json")]) == 2
+    assert "cannot read sidecar" in capsys.readouterr().err
+    sidecar = tmp_path / "unit.metrics.json"
+    _write_sidecar(sidecar, _SNAP)
+    garbage = tmp_path / "garbage.json"
+    garbage.write_text('{"not": "a baseline"}')
+    assert main(["obs", "diff", str(sidecar),
+                 "--baseline", str(garbage)]) == 2
+    assert "cannot read baseline" in capsys.readouterr().err

@@ -64,3 +64,63 @@ class TestExitCodes:
                             (boom, "boom stand-in"))
         assert main(["table4"]) == want
         assert "error:" in capsys.readouterr().err
+
+
+class TestSpanCapture:
+    def test_errors_capture_active_span_path_and_trace_id(self):
+        from repro import obs
+
+        obs.enable(trace=True)
+        with obs.span("creat"):
+            with obs.span("alloc.page"):
+                err = E.NoSpace("pool dry")
+        obs.disable()
+        assert err.span_path == "creat;alloc.page"
+        assert err.trace_id == obs.trace_id() or err.trace_id is not None
+
+    def test_errors_outside_obs_have_no_span(self):
+        err = E.InvalidArgument("plain")
+        assert err.span_path is None
+        assert err.trace_id is None
+
+    def test_cli_json_error_doc_reports_span(self, monkeypatch, capsys):
+        import json
+
+        import repro.cli as cli
+        from repro import obs
+
+        def boom(args):
+            obs.enable(trace=True)
+            try:
+                with obs.span("doomed.op"):
+                    raise E.CorruptionDetected(3, "uid changed")
+            finally:
+                obs.disable()
+
+        monkeypatch.setitem(cli.TABLE_COMMANDS, "table4",
+                            (boom, "boom stand-in"))
+        assert main(["table4", "--json"]) == E.EXIT_CORRUPTION
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["type"] == "CorruptionDetected"
+        assert doc["exit"] == E.EXIT_CORRUPTION
+        assert doc["span_path"] == "doomed.op"
+        assert "trace_id" in doc
+
+    def test_cli_text_error_mentions_span(self, monkeypatch, capsys):
+        import repro.cli as cli
+        from repro import obs
+
+        def boom(args):
+            obs.enable(trace=True)
+            try:
+                with obs.span("doomed.op"):
+                    raise E.LeaseExpired("lapsed")
+            finally:
+                obs.disable()
+
+        monkeypatch.setitem(cli.TABLE_COMMANDS, "table4",
+                            (boom, "boom stand-in"))
+        assert main(["table4"]) == E.EXIT_LEASE
+        err = capsys.readouterr().err
+        assert "error: lapsed" in err
+        assert "(at doomed.op)" in err

@@ -376,6 +376,148 @@ def test_stats_diff_and_publish_stats():
     assert snap["pm.stores"] == 6 and snap["pm.fences"] == 2
 
 
+def test_histogram_percentile_overflow_bucket_uses_observed_max():
+    h = Histogram("h", bounds=(10, 20))
+    for v in (500, 600, 700):   # everything lands in the overflow bucket
+        h.observe(v)
+    # No finite upper edge exists; percentiles interpolate between the last
+    # bound and the observed max, never above it.
+    assert 20 <= h.percentile(50) <= 700
+    assert h.percentile(99) <= 700
+
+
+def test_histogram_percentile_zero_valued_samples():
+    h = Histogram("h", bounds=(10, 20))
+    for _ in range(5):
+        h.observe(0)
+    # min == max == 0 must short-circuit to the exact value (0 is falsy —
+    # a naive `min or default` would misreport).
+    assert h.percentile(50) == 0.0
+    assert h.percentile(99) == 0.0
+
+
+def test_histogram_percentile_constant_stream_is_exact():
+    h = Histogram("h", bounds=(100, 200, 300))
+    for _ in range(1000):
+        h.observe(250)
+    for q in (1, 50, 95, 99, 100):
+        assert h.percentile(q) == pytest.approx(250.0)
+
+
+def test_histogram_bucket_counts_view():
+    h = Histogram("h", bounds=(10, 20))
+    for v in (5, 15, 99):
+        h.observe(v)
+    bounds, counts, count, total = h.bucket_counts()
+    assert list(bounds) == [10, 20]
+    assert counts == [1, 1, 1]
+    assert count == 3 and total == pytest.approx(119)
+
+
+def test_labeled_histograms_roll_up_to_base_name():
+    reg = MetricsRegistry()
+    reg.histogram("libfs.syscall.ns", app_id="a").observe(1000)
+    reg.histogram("libfs.syscall.ns", app_id="b").observe(3000)
+    snap = reg.snapshot()["histograms"]
+    assert snap["libfs.syscall.ns{app_id=a}"]["count"] == 1
+    assert snap["libfs.syscall.ns{app_id=b}"]["count"] == 1
+    # The synthesized base-name summary merges both label sets exactly.
+    agg = snap["libfs.syscall.ns"]
+    assert agg["count"] == 2
+    assert agg["min"] == 1000 and agg["max"] == 3000
+
+
+def test_histogram_rollup_skips_mixed_bounds():
+    reg = MetricsRegistry()
+    reg.histogram("h", bounds=(10,), app_id="a").observe(1)
+    reg.histogram("h", bounds=(10, 20), app_id="b").observe(1)
+    snap = reg.snapshot()["histograms"]
+    assert "h" not in snap  # merge would be lossy; no aggregate emitted
+    assert snap["h{app_id=a}"]["count"] == 1
+
+
+def test_registry_thread_safety_under_concurrent_label_creation():
+    reg = MetricsRegistry()
+    nthreads, per_thread = 8, 64
+    barrier = threading.Barrier(nthreads)
+
+    def work(tid: int) -> None:
+        barrier.wait(5.0)
+        for i in range(per_thread):
+            # Everyone hammers the same base name with fresh + shared labels.
+            reg.counter("c", tid=tid, i=i % 4).inc()
+            reg.counter("c").inc()
+            reg.histogram("h", tid=tid).observe(i + 1)
+
+    threads = [threading.Thread(target=work, args=(t,))
+               for t in range(nthreads)]
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join()
+    total = nthreads * per_thread
+    assert reg.counter_total("c") == 2 * total
+    snap = reg.snapshot()
+    assert snap["counters"]["c"] == 2 * total
+    assert snap["histograms"]["h"]["count"] == total
+    per_label = [v for k, v in snap["counters"].items()
+                 if k.startswith("c{") and "tid=" in k]
+    assert sum(per_label) == total
+
+
+# --------------------------------------------------------------------------- #
+# Ambient dimensional context
+# --------------------------------------------------------------------------- #
+
+
+def test_scoped_context_labels_counters_and_restores():
+    obs.enable()
+    with obs.scoped_context(app_id="app1", volume="vol0"):
+        obs.count("x")
+        assert obs.context_labels() == {"app_id": "app1", "volume": "vol0"}
+        with obs.scoped_context(volume="vol1"):
+            obs.count("x")   # inner override
+        assert obs.context_labels()["volume"] == "vol0"
+    obs.count("x")           # outside any context
+    obs.disable()
+    c = obs.metrics.snapshot()["counters"]
+    assert c["x{app_id=app1,volume=vol0}"] == 1
+    assert c["x{app_id=app1,volume=vol1}"] == 1
+    assert c["x"] == 3       # rollup: 2 labeled + 1 bare
+
+
+def test_explicit_labels_win_over_ambient():
+    obs.enable()
+    with obs.scoped_context(op="ambient", app_id="a"):
+        obs.count("y", op="explicit")
+    obs.disable()
+    c = obs.metrics.snapshot()["counters"]
+    assert c["y{app_id=a,op=explicit}"] == 1
+
+
+def test_set_and_clear_context():
+    obs.set_context(app_id="z")
+    assert obs.context_labels() == {"app_id": "z"}
+    obs.set_context(app_id=None, volume="v")
+    assert obs.context_labels() == {"volume": "v"}
+    obs.clear_context()
+    assert obs.context_labels() == {}
+
+
+def test_context_is_thread_local():
+    obs.set_context(app_id="main")
+    seen = {}
+
+    def work():
+        seen["worker"] = obs.context_labels()
+
+    th = threading.Thread(target=work)
+    th.start()
+    th.join()
+    obs.clear_context()
+    assert seen["worker"] == {}
+
+
 def test_pmstats_snapshot_and_diff():
     from repro.pm.device import PMStats
 
