@@ -1,0 +1,339 @@
+"""Server load — the multi-tenant volume server under a closed-loop fleet.
+
+Two measurements, both built so CI can gate them deterministically:
+
+1. **Closed-loop mixed workload** — N logical clients per tenant drive a
+   weighted open/read/write/rename mix over real TCP against an in-process
+   :class:`~repro.server.VolumeServer`, one op in flight per client.  The
+   gated numbers are *accounting* invariants, not wall clocks: every op
+   completes (the closed loop retries typed-retryable rejections), zero
+   responses are lost or duplicated, a graceful drain leaves every volume
+   fsck-clean, and the per-tenant op counts follow deterministically from
+   the seeded per-client RNG streams.
+2. **Backpressure probe** — a server with one worker and a two-deep queue:
+   the worker is parked, the queue filled to its bound, and the next
+   request must be rejected with a typed, retryable
+   :class:`~repro.errors.Overloaded` while everything already admitted
+   still completes.  Deterministic evidence that overload produces
+   backpressure, not loss.
+
+The metrics sidecar is filtered to the ``server.*`` / ``loadgen.*`` /
+``client.*`` families so the obs regression gate watches exactly the
+serving path.
+
+Run as a script for the CI smoke check:
+
+    python benchmarks/bench_server_load.py --smoke            # compare
+    python benchmarks/bench_server_load.py --full             # 1000 sessions
+    python benchmarks/bench_server_load.py --write-baseline   # regenerate
+"""
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+
+from repro import obs
+from repro.errors import Overloaded
+from repro.obs import regress
+from repro.server import (
+    LoadConfig,
+    ServerClient,
+    ServerConfig,
+    TenantPolicy,
+    VolumeServer,
+    make_volumes,
+)
+
+TENANTS = ("t0", "t1", "t2", "t3")
+
+#: CI scale: 100 concurrent sessions, a few seconds.
+SMOKE = LoadConfig(tenants=TENANTS, clients_per_tenant=25, ops_per_client=4,
+                   payload=512, seed=1337)
+
+#: Acceptance scale: 1000 concurrent sessions across 4 tenants.
+FULL = LoadConfig(tenants=TENANTS, clients_per_tenant=250, ops_per_client=6,
+                  payload=1024, seed=1337)
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "baselines", "server_load.json")
+METRICS_BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "baselines", "server_load.metrics.json")
+SIDECAR_PATH = os.path.join(
+    os.path.dirname(__file__), "results", "server_load.metrics.json")
+
+#: Metrics excluded from the obs gate on top of the defaults: reject and
+#: retry counts depend on scheduling (how often a closed-loop client ran
+#: into a momentarily full queue), unlike the op/session totals, which are
+#: fixed by the seeded op streams.
+METRICS_IGNORE = regress.DEFAULT_IGNORE + (
+    "counters.server.rejects*",
+    "counters.client.retries*",
+)
+
+
+# --------------------------------------------------------------------------- #
+# 1. Closed-loop mixed workload
+# --------------------------------------------------------------------------- #
+
+
+async def _run_workload(cfg: LoadConfig):
+    from repro.server import run_load
+
+    volumes = make_volumes(cfg.tenants, size=48 * 1024 * 1024,
+                           inode_count=4096)
+    policy = TenantPolicy(max_sessions=max(1024, cfg.clients_per_tenant + 8))
+    try:
+        async with VolumeServer(volumes, ServerConfig(policy=policy)) as srv:
+            report = await run_load("127.0.0.1", srv.port, cfg)
+            await srv.drain()
+        fsck_clean = all(vol.fsck().clean for vol in volumes.values())
+    finally:
+        for vol in volumes.values():
+            vol.close()
+    return report, fsck_clean
+
+
+def workload(cfg: LoadConfig):
+    report, fsck_clean = asyncio.run(_run_workload(cfg))
+    return {
+        "scale": {
+            "tenants": len(cfg.tenants),
+            "clients_per_tenant": cfg.clients_per_tenant,
+            "ops_per_client": cfg.ops_per_client,
+            "sessions": cfg.total_clients,
+            "seed": cfg.seed,
+        },
+        "invariants": {
+            "completed": report.total_completed,
+            "expected": cfg.total_ops,
+            "failures": sum(report.failures.values()),
+            "unmatched_responses": report.unmatched_responses,
+            "lost_responses": report.lost_responses,
+            "fsck_clean": fsck_clean,
+        },
+        "per_tenant": {t: report.completed[t] for t in cfg.tenants},
+        # Honest but host-dependent; reported, never gated.
+        "wall": {
+            "elapsed_s": round(report.elapsed, 3),
+            "ops_per_sec": round(report.ops_per_sec),
+            "retries": report.retries,
+            "reopens": report.reopens,
+        },
+    }
+
+
+# --------------------------------------------------------------------------- #
+# 2. Backpressure probe
+# --------------------------------------------------------------------------- #
+
+
+async def _run_probe():
+    volumes = make_volumes(["t0"], size=16 * 1024 * 1024, inode_count=256)
+    cfg = ServerConfig(debug_ops=True)
+    policy = {"t0": TenantPolicy(max_inflight=1, queue_depth=2)}
+    out = {"queue_depth": 2, "rejected": False, "retryable": False,
+           "admitted_completed": 0}
+    try:
+        async with VolumeServer(volumes, cfg, policies=policy) as srv:
+            tenant = srv.admission.tenants["t0"]
+            async with await ServerClient.connect(
+                    "127.0.0.1", srv.port) as cli:
+                token = await cli.open_session("t0")
+                # Park the single worker, then fill the queue to its bound.
+                waits = [asyncio.ensure_future(cli.call(
+                    "debug.sleep", session=token, seconds=0.3))]
+                while tenant.executing == 0:
+                    await asyncio.sleep(0.005)
+                waits += [asyncio.ensure_future(cli.call(
+                    "debug.sleep", session=token, seconds=0.01))
+                    for _ in range(2)]
+                while tenant.queue.qsize() < 2:
+                    await asyncio.sleep(0.005)
+                # The bound is hit: the next op must bounce, typed.
+                try:
+                    await cli.call("stat", session=token, path="/")
+                except Overloaded as exc:
+                    out["rejected"] = True
+                    out["retryable"] = bool(exc.retryable)
+                # ...and everything already admitted still completes.
+                results = await asyncio.gather(*waits)
+                out["admitted_completed"] = sum(
+                    1 for r in results if r.get("slept"))
+            await srv.drain()
+    finally:
+        for vol in volumes.values():
+            vol.close()
+    return out
+
+
+def probe():
+    return asyncio.run(_run_probe())
+
+
+# --------------------------------------------------------------------------- #
+# Reporting / smoke plumbing
+# --------------------------------------------------------------------------- #
+
+
+def collect(cfg: LoadConfig):
+    return {"workload": workload(cfg), "backpressure": probe()}
+
+
+def filtered_snapshot():
+    """The registry snapshot restricted to the serving-path families."""
+    keep = ("server.", "loadgen.", "client.")
+    return {
+        family: {name: value for name, value in series.items()
+                 if name.startswith(keep)}
+        for family, series in obs.metrics.snapshot().items()
+    }
+
+
+def render(results) -> str:
+    w = results["workload"]
+    bp = results["backpressure"]
+    inv = w["invariants"]
+    lines = [
+        "== server load: closed-loop fleet + backpressure probe ==",
+        "",
+        f"{w['scale']['tenants']} tenant(s) x "
+        f"{w['scale']['clients_per_tenant']} session(s) x "
+        f"{w['scale']['ops_per_client']} op(s)   "
+        f"[{w['scale']['sessions']} concurrent sessions]",
+        f"completed {inv['completed']}/{inv['expected']} ops in "
+        f"{w['wall']['elapsed_s']}s (~{w['wall']['ops_per_sec']:,} ops/s), "
+        f"{w['wall']['retries']} retries, {w['wall']['reopens']} reopen(s)",
+        f"lost {inv['lost_responses']}, duplicated "
+        f"{inv['unmatched_responses']}, failed {inv['failures']}; "
+        f"volumes fsck-clean: {inv['fsck_clean']}",
+        "",
+        f"{'tenant':<10}{'ops completed':>15}",
+        "-" * 25,
+    ]
+    for t, n in w["per_tenant"].items():
+        lines.append(f"{t:<10}{n:>15}")
+    lines += [
+        "",
+        f"backpressure probe (1 worker, queue depth {bp['queue_depth']}):",
+        f"  over-bound request rejected: {bp['rejected']} "
+        f"(retryable={bp['retryable']}); "
+        f"{bp['admitted_completed']}/3 admitted ops completed",
+    ]
+    return "\n".join(lines)
+
+
+def smoke_compare(results, baseline) -> list:
+    """Regressions of `results` against `baseline`; empty == pass.
+
+    Everything compared is integer-deterministic (seeded op streams,
+    structural counts), so the comparison is exact."""
+    problems = []
+    for section in ("workload", "backpressure"):
+        got_doc, want_doc = results[section], baseline[section]
+        skip = ("wall",)
+        for key, want in want_doc.items():
+            if key in skip:
+                continue
+            got = got_doc.get(key)
+            if got != want:
+                problems.append(
+                    f"{section}.{key}: {got!r} != baseline {want!r}")
+    return problems
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="compare against the checked-in baseline; "
+                         "non-zero exit on regression")
+    ap.add_argument("--full", action="store_true",
+                    help="acceptance scale: 1000 concurrent sessions")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="regenerate the checked-in baseline JSONs")
+    args = ap.parse_args(argv)
+    cfg = FULL if args.full else SMOKE
+
+    obs.reset()
+    obs.enable()
+    results = collect(cfg)
+    snap = filtered_snapshot()
+    obs.disable()
+    print(render(results))
+
+    inv = results["workload"]["invariants"]
+    hard_failures = []
+    if inv["completed"] != inv["expected"]:
+        hard_failures.append(
+            f"completed {inv['completed']} != expected {inv['expected']}")
+    for key in ("failures", "unmatched_responses", "lost_responses"):
+        if inv[key]:
+            hard_failures.append(f"{key} = {inv[key]} (must be 0)")
+    if not inv["fsck_clean"]:
+        hard_failures.append("a drained volume failed fsck")
+    bp = results["backpressure"]
+    if not (bp["rejected"] and bp["retryable"]):
+        hard_failures.append(f"backpressure probe did not reject: {bp}")
+    if hard_failures:
+        print("\nINVARIANT FAIL:")
+        for p in hard_failures:
+            print(f"  - {p}")
+        return 1
+
+    os.makedirs(os.path.dirname(SIDECAR_PATH), exist_ok=True)
+    obs.write_snapshot(SIDECAR_PATH, snap, bench="bench_server_load")
+
+    if args.full:
+        return 0  # acceptance run; the baseline stays at smoke scale
+    if args.write_baseline:
+        os.makedirs(os.path.dirname(BASELINE_PATH), exist_ok=True)
+        with open(BASELINE_PATH, "w") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        regress.write_baseline(METRICS_BASELINE_PATH, regress.make_baseline(
+            snap, source="bench_server_load --smoke", ignore=METRICS_IGNORE))
+        print(f"\n[baselines written to {BASELINE_PATH} "
+              f"and {METRICS_BASELINE_PATH}]")
+        return 0
+    if args.smoke:
+        with open(BASELINE_PATH) as fh:
+            baseline = json.load(fh)
+        problems = smoke_compare(results, baseline)
+        if problems:
+            print("\nSMOKE FAIL:")
+            for p in problems:
+                print(f"  - {p}")
+            return 1
+        print("\nsmoke: no regression vs baseline")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# pytest entry point
+# --------------------------------------------------------------------------- #
+
+
+def test_server_load(benchmark):
+    from conftest import save_and_print
+
+    results = benchmark.pedantic(lambda: collect(SMOKE),
+                                 rounds=1, iterations=1)
+    inv = results["workload"]["invariants"]
+    # The serving contract, end to end: every op completes, nothing is
+    # lost or duplicated, and the drained volumes are fsck-clean.
+    assert inv["completed"] == inv["expected"], results
+    assert inv["failures"] == 0, results
+    assert inv["unmatched_responses"] == 0, results
+    assert inv["lost_responses"] == 0, results
+    assert inv["fsck_clean"], results
+    # Backpressure is explicit: typed, retryable, and loss-free.
+    bp = results["backpressure"]
+    assert bp["rejected"] and bp["retryable"], results
+    assert bp["admitted_completed"] == 3, results
+
+    save_and_print("server_load", render(results))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import functools
 import itertools
+import threading
 from dataclasses import replace
 from typing import List, Optional, Union
 
@@ -75,6 +76,7 @@ class Session:
         self.volume = volume
         self.fs = fs
         self._open = True
+        self._close_lock = threading.Lock()
         #: Dimensional identity threaded into every forwarded call while
         #: observability is on: metrics recorded under a session slice per
         #: tenant (``libfs.syscall.count{app_id=...,op=...,volume=...}``).
@@ -109,16 +111,45 @@ class Session:
     def closed(self) -> bool:
         return not self._open
 
-    def shutdown(self) -> None:
-        """Tear the application down; idempotent."""
-        if not self._open:
+    def close(self, fd: Optional[int] = None) -> None:
+        """Close a descriptor — or, with no argument, the whole session.
+
+        ``session.close(fd)`` keeps forwarding to the underlying
+        :meth:`LibFS.close`, as it always has.  ``session.close()`` is the
+        lifecycle verb: it runs :meth:`shutdown`, and like it is safe to
+        call from several places at once — a server evicting an idle
+        session while drain (or the owning connection's teardown) closes it
+        too must never raise on the second call.
+        """
+        if fd is not None:
+            if obs.enabled:
+                with obs.scoped_context(**self.labels):
+                    self.fs.close(fd)
+            else:
+                self.fs.close(fd)
             return
-        self._open = False
-        if obs.enabled:
-            with obs.scoped_context(**self.labels):
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Tear the application down; idempotent and race-safe.
+
+        The first caller wins and runs the real teardown; every concurrent
+        or later call returns immediately.  This is the server-safe
+        lifecycle hook: eviction, drain and connection teardown may all
+        reach for the same session without coordinating.
+        """
+        with self._close_lock:
+            if not self._open:
+                return
+            self._open = False
+        try:
+            if obs.enabled:
+                with obs.scoped_context(**self.labels):
+                    self.fs.shutdown()
+            else:
                 self.fs.shutdown()
-        else:
-            self.fs.shutdown()
+        finally:
+            self.volume._detach(self)
 
 
 class Volume:
@@ -138,6 +169,7 @@ class Volume:
         self.kernel = kernel
         self.name = name or f"vol{next(Volume._names)}"
         self._sessions: List[Session] = []
+        self._sessions_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -222,8 +254,25 @@ class Volume:
         fs = LibFS(self.kernel, app_id, uid=uid,
                    config=config or self.kernel.config, group=group)
         sess = Session(self, fs)
-        self._sessions.append(sess)
+        with self._sessions_lock:
+            self._sessions.append(sess)
         return sess
+
+    def _detach(self, sess: Session) -> None:
+        """Forget a closed session (so a long-running server that churns
+        through thousands of sessions does not grow the volume's list
+        without bound).  Called from :meth:`Session.shutdown`."""
+        with self._sessions_lock:
+            try:
+                self._sessions.remove(sess)
+            except ValueError:
+                pass
+
+    @property
+    def live_sessions(self) -> List[Session]:
+        """The sessions still open on this volume (a copy)."""
+        with self._sessions_lock:
+            return list(self._sessions)
 
     # ------------------------------------------------------------------ #
     # Lifecycle / diagnostics
@@ -252,9 +301,8 @@ class Volume:
 
     def close(self) -> None:
         """Shut down every live session, then quiesce; idempotent."""
-        for sess in reversed(self._sessions):
+        for sess in reversed(self.live_sessions):
             sess.shutdown()
-        self._sessions.clear()
         self.quiesce()
 
     def __enter__(self) -> "Volume":

@@ -362,6 +362,152 @@ def cmd_obs_diff(args) -> int:
     return rc
 
 
+def _parse_mix(spec: str) -> Dict[str, int]:
+    from repro.errors import InvalidArgument
+
+    mix: Dict[str, int] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, weight = part.partition("=")
+        try:
+            mix[name] = int(weight) if weight else 1
+        except ValueError:
+            raise InvalidArgument(f"bad mix entry {part!r} "
+                                  "(want op=weight)") from None
+    if not mix:
+        raise InvalidArgument(f"empty op mix {spec!r}")
+    return mix
+
+
+def _tenant_names(spec: str) -> List[str]:
+    names = [t.strip() for t in spec.split(",") if t.strip()]
+    if names and all(n.isdigit() for n in names) and len(names) == 1:
+        return [f"t{i}" for i in range(int(names[0]))]
+    return names
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.errors import InvalidArgument
+    from repro.server import ServerConfig, TenantPolicy, VolumeServer, make_volumes
+
+    tenants = _tenant_names(args.tenants)
+    if not tenants:
+        raise InvalidArgument("serve needs at least one tenant")
+    config = ServerConfig(
+        host=args.host, port=args.port,
+        policy=TenantPolicy(max_sessions=args.max_sessions,
+                            max_inflight=args.max_inflight,
+                            queue_depth=args.queue_depth),
+        lease_seconds=args.lease)
+
+    async def run() -> int:
+        volumes = make_volumes(tenants, size=args.size << 20,
+                               inode_count=args.inodes)
+        server = VolumeServer(volumes, config)
+        await server.start()
+        print(f"serving {len(volumes)} volume(s) "
+              f"[{', '.join(tenants)}] on {args.host}:{server.port}  "
+              f"(max_sessions={args.max_sessions} "
+              f"max_inflight={args.max_inflight} "
+              f"queue_depth={args.queue_depth} lease={args.lease:g}s)")
+        try:
+            if args.duration is not None:
+                await asyncio.sleep(args.duration)
+            else:
+                await asyncio.Event().wait()  # until interrupted
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass
+        finally:
+            print("draining...")
+            await server.close()
+            clean = True
+            for name, vol in volumes.items():
+                report = vol.fsck()
+                clean &= report.clean
+                print(f"  {name}: fsck {'clean' if report.clean else 'DIRTY'}")
+                vol.close()
+        return 0 if clean else 1
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+
+
+def cmd_loadgen(args) -> int:
+    import asyncio
+    import contextlib
+
+    from repro import obs
+    from repro.errors import ServerError
+    from repro.server import (
+        LoadConfig,
+        ServerConfig,
+        VolumeServer,
+        make_volumes,
+        run_load,
+    )
+
+    tenants = _tenant_names(args.tenants)
+    cfg = LoadConfig(
+        tenants=tenants, clients_per_tenant=args.clients,
+        ops_per_client=args.ops, payload=args.payload,
+        mix=_parse_mix(args.mix),
+        connections_per_tenant=args.connections, seed=args.seed)
+
+    async def run() -> int:
+        obs.reset()
+        obs.enable()
+        volumes = {}
+        server = None
+        try:
+            if args.self_serve:
+                volumes = make_volumes(tenants)
+                server = VolumeServer(volumes, ServerConfig(host=args.host))
+                await server.start()
+                host, port = args.host, server.port
+            else:
+                host, port = args.host, args.port
+            try:
+                report = await run_load(host, port, cfg)
+            except OSError as exc:
+                # A refused/failed connection is a server error on the
+                # wire, not a stack trace.
+                raise ServerError(
+                    f"cannot reach {host}:{port}: {exc}") from None
+        finally:
+            obs.disable()
+            if server is not None:
+                with contextlib.suppress(Exception):
+                    await server.close()
+            for vol in volumes.values():
+                vol.close()
+        if args.json:
+            print(json.dumps({
+                "completed": report.completed,
+                "failures": report.failures,
+                "retries": report.retries,
+                "reopens": report.reopens,
+                "requests_sent": report.requests_sent,
+                "responses_received": report.responses_received,
+                "unmatched_responses": report.unmatched_responses,
+                "lost_responses": report.lost_responses,
+                "elapsed": report.elapsed,
+                "ops_per_sec": report.ops_per_sec,
+            }, indent=2, sort_keys=True))
+        else:
+            print(report.render())
+        bad = (report.unmatched_responses or report.lost_responses
+               or sum(report.failures.values()))
+        return 1 if bad else 0
+
+    return asyncio.run(run())
+
+
 def cmd_fsck(args) -> int:
     from repro.fsck import INJECTORS, build_volume, run_fsck
     from repro.pm.device import PMDevice
@@ -532,6 +678,61 @@ def build_parser() -> argparse.ArgumentParser:
     fsck.add_argument("--json", action="store_true",
                       help="emit the full report as JSON")
     fsck.set_defaults(fn=cmd_fsck)
+
+    serve = subs.add_parser(
+        "serve", help="run the multi-tenant volume server (line-delimited "
+                      "JSON-RPC; Ctrl-C drains and fscks every volume)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7999,
+                       help="listen port (default 7999; 0 = ephemeral)")
+    serve.add_argument("--tenants", default="t0,t1,t2,t3",
+                       help="comma-separated tenant names, or a count "
+                            "(default t0,t1,t2,t3); one volume each")
+    serve.add_argument("--size", type=int, default=64,
+                       help="volume size in MiB (default 64)")
+    serve.add_argument("--inodes", type=int, default=4096,
+                       help="inode slots per volume (default 4096)")
+    serve.add_argument("--max-sessions", type=int, default=1024,
+                       help="per-tenant concurrent session cap (default 1024)")
+    serve.add_argument("--max-inflight", type=int, default=4,
+                       help="per-tenant worker pool size (default 4)")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="per-tenant bounded queue depth (default 64)")
+    serve.add_argument("--lease", type=float, default=30.0,
+                       help="idle-session eviction lease, seconds "
+                            "(default 30)")
+    serve.add_argument("--duration", type=float, default=None,
+                       help="serve for N seconds then drain "
+                            "(default: until Ctrl-C)")
+    serve.set_defaults(fn=cmd_serve)
+
+    loadgen = subs.add_parser(
+        "loadgen", help="closed-loop load generator against a volume server "
+                        "(exit 1 on any lost/duplicated/failed op)")
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=7999)
+    loadgen.add_argument("--self", dest="self_serve", action="store_true",
+                         help="spin up an in-process server on an ephemeral "
+                              "port instead of connecting out")
+    loadgen.add_argument("--tenants", default="t0,t1,t2,t3",
+                         help="tenant names or a count (must exist "
+                              "server-side; default t0,t1,t2,t3)")
+    loadgen.add_argument("--clients", type=int, default=25,
+                         help="closed-loop clients per tenant (default 25)")
+    loadgen.add_argument("--ops", type=int, default=8,
+                         help="ops per client after setup (default 8)")
+    loadgen.add_argument("--payload", type=int, default=1024,
+                         help="write payload bytes (default 1024)")
+    loadgen.add_argument("--mix", default="read=4,write=3,open=2,rename=1",
+                         help="op mix weights "
+                              "(default read=4,write=3,open=2,rename=1)")
+    loadgen.add_argument("--connections", type=int, default=8,
+                         help="TCP connections per tenant (default 8)")
+    loadgen.add_argument("--seed", type=int, default=1337,
+                         help="op-stream seed (default 1337)")
+    loadgen.add_argument("--json", action="store_true",
+                         help="emit the report as JSON")
+    loadgen.set_defaults(fn=cmd_loadgen)
 
     return parser
 

@@ -185,9 +185,65 @@ class WouldLoop(FSError):
 
 
 class TryAgain(FSError):
-    """Transient failure (e.g. the global rename lease is held elsewhere)."""
+    """Transient failure (e.g. the global rename lease is held elsewhere,
+    or another app currently owns an inode on the acquire path).  EAGAIN
+    semantics: marked ``retryable`` so the server's wire protocol tells
+    clients to back off and re-issue rather than fail the op."""
 
     ERRNO = errno.EAGAIN
+    retryable = True
+
+
+# --------------------------------------------------------------------------- #
+# Server errors (repro.server)
+# --------------------------------------------------------------------------- #
+
+
+class ServerError(ReproError):
+    """Base of the volume-server error family (``repro.server``).
+
+    ``retryable`` is part of the wire contract: the server serializes it
+    into every error frame, and a well-behaved client backs off and retries
+    exactly the errors that carry ``retryable=True``.  Subclasses override
+    the class attribute; instances never mutate it.
+    """
+
+    CODE = 210
+    retryable = False
+
+
+class Overloaded(ServerError):
+    """A tenant's bounded request queue is full (or the server is draining).
+
+    The explicit backpressure signal: the op was *not* executed and not
+    queued; retry after a backoff.
+    """
+
+    CODE = 211
+    retryable = True
+
+
+class TenantLimit(ServerError):
+    """A per-tenant admission limit (e.g. max sessions) was reached."""
+
+    CODE = 212
+    retryable = True
+
+
+class ProtocolError(ServerError):
+    """A malformed, oversized or unroutable wire frame.  Not retryable:
+    resending the same bytes cannot succeed."""
+
+    CODE = 213
+
+
+class SessionGone(ServerError):
+    """The request named a session token the server no longer knows
+    (evicted after its idle lease lapsed, or closed).  Retryable in the
+    sense that the client should open a fresh session and re-issue."""
+
+    CODE = 214
+    retryable = True
 
 
 # --------------------------------------------------------------------------- #
@@ -203,7 +259,21 @@ EXIT_FS_ERROR = 3       # any other FSError (ENOENT, EEXIST, ...)
 EXIT_CORRUPTION = 4     # VerifyFailure / CorruptionDetected
 EXIT_LEASE = 5          # LeaseExpired
 EXIT_NO_SPACE = 6       # NoSpace (ENOSPC)
-EXIT_OTHER = 7          # any other ReproError
+EXIT_OTHER = 7          # any other ReproError (the documented fallback)
+EXIT_SERVER = 8         # ServerError family (Overloaded, TenantLimit, ...)
+
+#: The exit-status table, walked in order; first match wins.  Subclassing
+#: an entry inherits its status (``Overloaded`` exits like ``ServerError``)
+#: unless a more specific row precedes it.
+_EXIT_TABLE = (
+    (InvalidArgument, EXIT_USAGE),
+    (NoSpace, EXIT_NO_SPACE),
+    (FSError, EXIT_FS_ERROR),
+    (VerifyFailure, EXIT_CORRUPTION),
+    (CorruptionDetected, EXIT_CORRUPTION),
+    (LeaseExpired, EXIT_LEASE),
+    (ServerError, EXIT_SERVER),
+)
 
 
 def exit_code_for(exc: BaseException) -> int:
@@ -212,25 +282,25 @@ def exit_code_for(exc: BaseException) -> int:
     Every verb funnels :class:`ReproError` through this single table so the
     same failure produces the same status everywhere:
 
-    ========================================  ====
-    exception                                 exit
-    ========================================  ====
-    ``InvalidArgument``                       2
-    ``NoSpace``                               6
-    other ``FSError``                         3
+    ========================================    ====
+    exception                                   exit
+    ========================================    ====
+    ``InvalidArgument``                         2
+    ``NoSpace``                                 6
+    other ``FSError``                           3
     ``VerifyFailure`` / ``CorruptionDetected``  4
-    ``LeaseExpired``                          5
-    other ``ReproError``                      7
-    ========================================  ====
+    ``LeaseExpired``                            5
+    ``ServerError`` family                      8
+    anything else                               7
+    ========================================    ====
+
+    The last row is the contract that keeps exit semantics stable as the
+    taxonomy grows: a :class:`ReproError` subclass introduced without a
+    dedicated row here exits :data:`EXIT_OTHER` (7) — a defined, documented
+    status — rather than leaking an unmapped value.  New families get a row
+    *and* a regression test, or they get 7.
     """
-    if isinstance(exc, InvalidArgument):
-        return EXIT_USAGE
-    if isinstance(exc, NoSpace):
-        return EXIT_NO_SPACE
-    if isinstance(exc, FSError):
-        return EXIT_FS_ERROR
-    if isinstance(exc, (VerifyFailure, CorruptionDetected)):
-        return EXIT_CORRUPTION
-    if isinstance(exc, LeaseExpired):
-        return EXIT_LEASE
+    for cls, status in _EXIT_TABLE:
+        if isinstance(exc, cls):
+            return status
     return EXIT_OTHER

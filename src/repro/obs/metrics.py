@@ -170,7 +170,10 @@ class Histogram:
                 if upper <= lower:
                     return float(upper)
                 frac = min(1.0, max(0.0, (target - prev_cum) / n))
-                return float(lower + (upper - lower) * frac)
+                # Clamp: float interpolation at frac≈1.0 can land one ulp
+                # above `upper` (lower + (upper-lower)*1.0 need not round
+                # back to exactly `upper`), escaping the observed range.
+                return float(min(upper, lower + (upper - lower) * frac))
         return float(vmax)  # pragma: no cover - defensive
 
     def merge(self, other: "Histogram") -> None:

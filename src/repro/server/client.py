@@ -1,0 +1,210 @@
+"""Asyncio client for the volume server.
+
+One :class:`ServerClient` owns one TCP connection and multiplexes any
+number of logical sessions over it: every request carries a fresh ``id``,
+a background reader task resolves the matching future when the response
+frame arrives (responses may come back in any order — the server's worker
+pools complete independently).
+
+Errors come back *typed*: a rejected op raises the same
+:class:`~repro.errors.Overloaded` / :class:`~repro.errors.TenantLimit` /
+:class:`~repro.errors.NoEntry` the server raised, reconstructed from the
+wire body, with ``retryable`` preserved.  :meth:`call_retry` is the
+polite-client loop the load generator uses: exponential backoff on exactly
+the retryable errors, bounded attempts, everything else propagates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Dict, Optional
+
+from repro import obs
+from repro.errors import ProtocolError, ReproError, ServerError, SessionGone
+from repro.server import protocol
+
+
+class ServerClient:
+    """One connection to a :class:`~repro.server.server.VolumeServer`."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._pending: Dict[int, asyncio.Future] = {}
+        #: End-to-end accounting (the load generator's lost/dup audit).
+        self.sent = 0
+        self.received = 0
+        self.unmatched = 0
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop())
+        self._closed = False
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServerClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def __aenter__(self) -> "ServerClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        self._writer.close()
+        self._fail_pending(ServerError("connection closed"))
+
+    # ------------------------------------------------------------------ #
+    # Wire plumbing
+    # ------------------------------------------------------------------ #
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    raise ServerError("server closed the connection")
+                frame = protocol.decode_frame(line)
+                self.received += 1
+                fut = self._pending.pop(frame.get("id"), None)
+                if fut is None or fut.done():
+                    self.unmatched += 1  # duplicate or unknown id
+                    continue
+                if "error" in frame:
+                    fut.set_exception(
+                        protocol.exception_for(frame["error"]))
+                else:
+                    fut.set_result(frame.get("result"))
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self._fail_pending(exc if isinstance(exc, ReproError)
+                               else ServerError(str(exc)))
+
+    def _fail_pending(self, exc: ReproError) -> None:
+        for fut in self._pending.values():
+            if not fut.done():
+                fut.set_exception(exc)
+        self._pending.clear()
+
+    async def call(self, method: str, *, tenant: Optional[str] = None,
+                   session: Optional[str] = None, **params):
+        """Issue one request and await its (typed) response."""
+        if self._closed:
+            raise ServerError("client is closed")
+        req_id = next(self._ids)
+        fut = asyncio.get_running_loop().create_future()
+        self._pending[req_id] = fut
+        self.sent += 1
+        frame: Dict = {"id": req_id, "method": method, "params": params}
+        if tenant is not None:
+            frame["tenant"] = tenant
+        if session is not None:
+            frame["session"] = session
+        self._writer.write(protocol.encode_frame(frame))
+        await self._writer.drain()
+        return await fut
+
+    async def call_retry(self, method: str, *, retries: int = 8,
+                         backoff: float = 0.005, max_backoff: float = 0.25,
+                         **kw):
+        """:meth:`call`, retrying retryable rejections with exponential
+        backoff.  The closed-loop client contract: backpressure slows the
+        caller down instead of losing its op."""
+        delay = backoff
+        for attempt in range(retries + 1):
+            try:
+                return await self.call(method, **kw)
+            except ReproError as exc:
+                if not getattr(exc, "retryable", False) or attempt == retries:
+                    raise
+                obs.count("client.retries", method=method,
+                          type=type(exc).__name__)
+                await asyncio.sleep(delay)
+                delay = min(delay * 2, max_backoff)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # ------------------------------------------------------------------ #
+    # Convenience verbs
+    # ------------------------------------------------------------------ #
+
+    async def ping(self) -> bool:
+        return bool((await self.call("ping"))["pong"])
+
+    async def open_session(self, tenant: str, **params) -> str:
+        result = await self.call("session.open", tenant=tenant, **params)
+        return result["session"]
+
+    async def close_session(self, session: str) -> bool:
+        result = await self.call("session.close", session=session)
+        return bool(result["closed"])
+
+    async def stats(self) -> Dict:
+        return await self.call("stats")
+
+    # Typed helpers for the common data ops (the full method table is in
+    # repro.server.dispatch; anything there works through call()).
+
+    async def write_file(self, session: str, path: str, data: bytes,
+                         **kw) -> int:
+        result = await self.call_retry(
+            "write_file", session=session, path=path,
+            data=protocol.pack_bytes(data), **kw)
+        return result["written"]
+
+    async def read_file(self, session: str, path: str, **kw) -> bytes:
+        result = await self.call_retry("read_file", session=session,
+                                       path=path, **kw)
+        return protocol.unpack_bytes(result["data"])
+
+    async def rename(self, session: str, old: str, new: str, **kw) -> None:
+        await self.call_retry("rename", session=session, old=old, new=new,
+                              **kw)
+
+
+class SessionHandle:
+    """A logical client session: remembers its token, transparently
+    reopens after eviction (:class:`~repro.errors.SessionGone`), and
+    forwards ops through :meth:`ServerClient.call_retry`."""
+
+    def __init__(self, client: ServerClient, tenant: str):
+        self.client = client
+        self.tenant = tenant
+        self.token: Optional[str] = None
+        self.reopens = 0
+
+    async def ensure(self) -> str:
+        if self.token is None:
+            result = await self.client.call_retry(
+                "session.open", tenant=self.tenant)
+            self.token = result["session"]
+        return self.token
+
+    async def call(self, method: str, **params):
+        for _ in range(2):
+            token = await self.ensure()
+            try:
+                return await self.client.call_retry(
+                    method, session=token, **params)
+            except SessionGone:
+                self.token = None
+                self.reopens += 1
+        raise ProtocolError(f"session for {self.tenant!r} kept vanishing")
+
+    async def close(self) -> None:
+        if self.token is not None:
+            try:
+                await self.client.close_session(self.token)
+            finally:
+                self.token = None

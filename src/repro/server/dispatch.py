@@ -1,0 +1,154 @@
+"""Op dispatch: wire method names onto :class:`repro.api.Session` calls.
+
+The data-path methods a client may invoke on a session, each a thin
+adapter from JSON params to the LibFS surface and back to JSON-able
+results.  Binary payloads are base64 on the wire (:mod:`.protocol`).
+
+The table is deliberately explicit — the server exposes exactly these
+methods, not ``getattr`` over the whole LibFS — because the wire surface
+is a *protection boundary*: a tenant drives only the POSIX-shaped ops, not
+the release/commit/ownership internals the coordinator manages.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict
+
+from repro.api import Session
+from repro.errors import InvalidArgument
+from repro.server.protocol import pack_bytes, unpack_bytes
+
+
+def _need(params: Dict, key: str):
+    if key not in params:
+        raise InvalidArgument(f"missing required param {key!r}")
+    return params[key]
+
+
+def _path(params: Dict, key: str = "path") -> str:
+    p = _need(params, key)
+    if not isinstance(p, str) or not p.startswith("/"):
+        raise InvalidArgument(f"{key} must be an absolute path string")
+    return p
+
+
+def _int(params: Dict, key: str, minimum: int = 0) -> int:
+    v = _need(params, key)
+    if not isinstance(v, int) or isinstance(v, bool) or v < minimum:
+        raise InvalidArgument(f"{key} must be an integer >= {minimum}")
+    return v
+
+
+def op_open(fs: Session, p: Dict):
+    fd = fs.open(_path(p), create=bool(p.get("create", False)),
+                 mode=p.get("mode", 0o664))
+    return {"fd": fd}
+
+
+def op_creat(fs: Session, p: Dict):
+    return {"fd": fs.creat(_path(p), mode=p.get("mode", 0o664))}
+
+
+def op_close(fs: Session, p: Dict):
+    fs.close(_int(p, "fd"))
+    return {}
+
+
+def op_mkdir(fs: Session, p: Dict):
+    fs.mkdir(_path(p), mode=p.get("mode", 0o775))
+    return {}
+
+
+def op_makedirs(fs: Session, p: Dict):
+    fs.makedirs(_path(p))
+    return {}
+
+
+def op_pread(fs: Session, p: Dict):
+    data = fs.pread(_int(p, "fd"), _int(p, "n"), _int(p, "offset"))
+    return {"data": pack_bytes(data), "n": len(data)}
+
+
+def op_pwrite(fs: Session, p: Dict):
+    data = unpack_bytes(_need(p, "data"))
+    return {"written": fs.pwrite(_int(p, "fd"), data, _int(p, "offset"))}
+
+
+def op_read_file(fs: Session, p: Dict):
+    data = fs.read_file(_path(p))
+    return {"data": pack_bytes(data), "n": len(data)}
+
+
+def op_write_file(fs: Session, p: Dict):
+    data = unpack_bytes(_need(p, "data"))
+    fs.write_file(_path(p), data)
+    return {"written": len(data)}
+
+
+def op_rename(fs: Session, p: Dict):
+    fs.rename(_path(p, "old"), _path(p, "new"))
+    return {}
+
+
+def op_stat(fs: Session, p: Dict):
+    return dataclasses.asdict(fs.stat(_path(p)))
+
+
+def op_readdir(fs: Session, p: Dict):
+    return {"names": fs.readdir(_path(p))}
+
+
+def op_exists(fs: Session, p: Dict):
+    return {"exists": fs.exists(_path(p))}
+
+
+def op_unlink(fs: Session, p: Dict):
+    fs.unlink(_path(p))
+    return {}
+
+
+def op_rmdir(fs: Session, p: Dict):
+    fs.rmdir(_path(p))
+    return {}
+
+
+def op_truncate(fs: Session, p: Dict):
+    fs.truncate(_path(p), _int(p, "size"))
+    return {}
+
+
+def op_fsync(fs: Session, p: Dict):
+    fs.fsync(_int(p, "fd"))
+    return {}
+
+
+def op_release(fs: Session, p: Dict):
+    """Release ownership of everything the session holds (tenant-visible
+    cost control; the same thing session close does implicitly)."""
+    fs.release_all()
+    return {}
+
+
+#: method name → adapter.  Every entry runs inside a tenant worker against
+#: an admitted, lease-refreshed session.
+SESSION_OPS: Dict[str, Callable[[Session, Dict], Dict]] = {
+    "open": op_open,
+    "creat": op_creat,
+    "close": op_close,
+    "mkdir": op_mkdir,
+    "makedirs": op_makedirs,
+    "pread": op_pread,
+    "pwrite": op_pwrite,
+    "read_file": op_read_file,
+    "write_file": op_write_file,
+    "rename": op_rename,
+    "stat": op_stat,
+    "readdir": op_readdir,
+    "exists": op_exists,
+    "unlink": op_unlink,
+    "rmdir": op_rmdir,
+    "truncate": op_truncate,
+    "fsync": op_fsync,
+    "release": op_release,
+}

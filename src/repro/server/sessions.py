@@ -1,0 +1,150 @@
+"""The server's session table: tokens, idle leases, eviction.
+
+A *server session* pairs one :class:`repro.api.Session` (the LibFS-side
+untrusted state) with the coordinator-side bookkeeping the server needs:
+the wire token that names it, the tenant it counts against, the connection
+that opened it, an inflight-op counter and an idle lease.
+
+Eviction is lease-based: every executed op refreshes ``last_used``; a
+session idle past ``lease_seconds`` is closed by the reaper and its slot
+returned to the tenant.  A later request naming the token gets
+:class:`~repro.errors.SessionGone` (retryable: open a fresh session).
+Sessions are never torn down mid-op — the reaper skips sessions with
+inflight work and marks them ``closing`` instead; the worker that finishes
+the last op completes the close.  The underlying
+:meth:`repro.api.Session.shutdown` is idempotent, so the unavoidable
+races (evict vs drain vs connection teardown) collapse to one winner.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional
+
+from repro import obs
+from repro.api import Session
+from repro.errors import SessionGone
+from repro.server.admission import TenantState
+
+
+class ServerSession:
+    """One app session as the server tracks it."""
+
+    __slots__ = ("token", "tenant", "session", "conn_id", "last_used",
+                 "inflight", "closing", "closed")
+
+    def __init__(self, token: str, tenant: TenantState, session: Session,
+                 conn_id: int, now: float):
+        self.token = token
+        self.tenant = tenant
+        self.session = session
+        self.conn_id = conn_id
+        self.last_used = now
+        self.inflight = 0
+        self.closing = False
+        self.closed = False
+
+    def touch(self, now: float) -> None:
+        self.last_used = now
+
+    def idle_for(self, now: float) -> float:
+        return now - self.last_used
+
+
+class SessionTable:
+    """Token → :class:`ServerSession`, plus the eviction policy."""
+
+    def __init__(self, *, lease_seconds: float,
+                 on_release: Callable[[TenantState], None]):
+        self.lease_seconds = lease_seconds
+        self._on_release = on_release
+        self._by_token: Dict[str, ServerSession] = {}
+        self._tokens = itertools.count(1)
+
+    def __len__(self) -> int:
+        return len(self._by_token)
+
+    def all(self) -> List[ServerSession]:
+        return list(self._by_token.values())
+
+    # -- open / lookup ----------------------------------------------------- #
+
+    def register(self, tenant: TenantState, session: Session,
+                 conn_id: int, now: float) -> ServerSession:
+        token = f"{tenant.name}-{next(self._tokens):x}"
+        ss = ServerSession(token, tenant, session, conn_id, now)
+        self._by_token[token] = ss
+        return ss
+
+    def lookup(self, token: Optional[str]) -> ServerSession:
+        if not token:
+            raise SessionGone("request names no session")
+        ss = self._by_token.get(token)
+        if ss is None or ss.closing or ss.closed:
+            raise SessionGone(
+                f"session {token!r} is gone (evicted or closed); "
+                "open a new session and re-issue")
+        return ss
+
+    # -- close / eviction --------------------------------------------------- #
+
+    def close_session(self, ss: ServerSession, reason: str = "close") -> bool:
+        """Close now if idle, else mark ``closing`` for the worker that
+        finishes the last inflight op.  Returns True when torn down."""
+        ss.closing = True
+        if ss.inflight > 0:
+            return False
+        return self._teardown(ss, reason)
+
+    def finish_op(self, ss: ServerSession, now: float) -> None:
+        """Per-op bookkeeping: refresh the lease; complete a deferred
+        close when this was the last inflight op."""
+        ss.inflight = max(0, ss.inflight - 1)
+        ss.touch(now)
+        if ss.closing and ss.inflight == 0:
+            self._teardown(ss, "deferred")
+
+    def evict_idle(self, now: float) -> int:
+        """Close every session whose idle lease lapsed; returns the count."""
+        evicted = 0
+        for ss in list(self._by_token.values()):
+            if ss.inflight == 0 and not ss.closing \
+                    and ss.idle_for(now) >= self.lease_seconds:
+                self._teardown(ss, "idle_lease")
+                evicted += 1
+        return evicted
+
+    def close_connection(self, conn_id: int) -> int:
+        """Close (or mark closing) every session a dead connection owned."""
+        n = 0
+        for ss in list(self._by_token.values()):
+            if ss.conn_id == conn_id and not ss.closed:
+                self.close_session(ss, reason="disconnect")
+                n += 1
+        return n
+
+    def close_all(self) -> int:
+        n = 0
+        for ss in list(self._by_token.values()):
+            if not ss.closed:
+                self.close_session(ss, reason="shutdown")
+                n += 1
+        return n
+
+    def _teardown(self, ss: ServerSession, reason: str) -> bool:
+        if ss.closed:
+            return True
+        ss.closed = True
+        self._by_token.pop(ss.token, None)
+        try:
+            # Idempotent; also settles any read-delegation lease the app
+            # still holds (kernel.app_shutdown runs the deferred
+            # verifications), so an evicted tenant leaves nothing parked.
+            ss.session.close()
+        finally:
+            self._on_release(ss.tenant)
+        obs.count("server.sessions_closed", tenant=ss.tenant.name,
+                  reason=reason)
+        if reason in ("idle_lease",):
+            obs.count("server.evictions", tenant=ss.tenant.name)
+        return True

@@ -101,6 +101,81 @@ class TestVolume:
         assert kernel.stats.verifications >= 1
 
 
+class TestIdempotentClose:
+    """Session teardown is idempotent — the server's eviction/drain/
+    disconnect races all funnel into Session.shutdown and must collapse
+    to one winner, never a double-release."""
+
+    def test_double_close_does_not_raise(self):
+        with Volume.create(16 * 1024 * 1024) as vol:
+            s = vol.session("app1")
+            s.write_file("/f", b"x")
+            s.close()
+            s.close()          # second winner: no-op
+            s.shutdown()       # and the explicit spelling too
+            assert s.closed
+
+    def test_context_exit_after_explicit_close(self):
+        with Volume.create(16 * 1024 * 1024) as vol:
+            with vol.session("app1") as s:
+                s.write_file("/f", b"x")
+                s.close()      # e.g. an eviction won the race
+            assert s.closed    # __exit__ tolerated the earlier close
+
+    def test_close_with_fd_still_closes_descriptors(self):
+        # close() is dual-purpose: close(fd) forwards to the LibFS
+        # descriptor close; close() tears the session down.
+        with Volume.create(16 * 1024 * 1024) as vol:
+            with vol.session("app1") as s:
+                fd = s.creat("/f")
+                s.pwrite(fd, b"data", 0)
+                s.close(fd)
+                assert not s.closed
+                assert s.read_file("/f") == b"data"
+
+    def test_concurrent_close_single_winner(self):
+        import threading
+
+        with Volume.create(16 * 1024 * 1024) as vol:
+            s = vol.session("app1")
+            s.write_file("/f", b"x")
+            errs = []
+            barrier = threading.Barrier(4)
+
+            def racer():
+                barrier.wait()
+                try:
+                    s.shutdown()
+                except Exception as exc:  # pragma: no cover
+                    errs.append(exc)
+
+            threads = [threading.Thread(target=racer) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert errs == []
+            assert s.closed
+            assert not vol.kernel.acquisitions
+
+    def test_shutdown_detaches_from_volume(self):
+        with Volume.create(16 * 1024 * 1024) as vol:
+            s1 = vol.session("a")
+            s2 = vol.session("b")
+            assert set(vol.live_sessions) == {s1, s2}
+            s1.shutdown()
+            assert vol.live_sessions == [s2]
+            s1.shutdown()  # idempotent: no double-detach
+            assert vol.live_sessions == [s2]
+
+    def test_volume_close_then_session_shutdown(self):
+        vol = Volume.create(16 * 1024 * 1024)
+        s = vol.session("app1")
+        vol.close()
+        assert s.closed
+        s.shutdown()  # already closed by the volume: no-op, no raise
+
+
 class TestDimensionalIdentity:
     def test_volume_names_explicit_and_auto(self):
         with Volume.create(16 * 1024 * 1024, name="scratch") as vol:

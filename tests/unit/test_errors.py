@@ -26,6 +26,20 @@ class TestTaxonomy:
         assert E.CorruptionDetected(1, "r").code == 201
         assert E.LeaseExpired().code == 202
 
+    def test_server_family_codes_and_retryability(self):
+        assert E.ServerError("x").code == 210
+        assert E.Overloaded("x").code == 211
+        assert E.TenantLimit("x").code == 212
+        assert E.ProtocolError("x").code == 213
+        assert E.SessionGone("x").code == 214
+        # retryable is the wire contract: back-off-and-retry errors only.
+        assert not E.ServerError("x").retryable
+        assert E.Overloaded("x").retryable
+        assert E.TenantLimit("x").retryable
+        assert not E.ProtocolError("x").retryable
+        assert E.SessionGone("x").retryable
+        assert E.TryAgain("x").retryable
+
     def test_canonical_reexports(self):
         from repro.concurrency.lease import LeaseExpired as L2
         from repro.kernel.verifier import VerifyFailure as V2
@@ -44,9 +58,30 @@ class TestExitCodes:
         (E.CorruptionDetected(1, "r"), E.EXIT_CORRUPTION),
         (E.LeaseExpired(), E.EXIT_LEASE),
         (E.ReproError("other"), E.EXIT_OTHER),
+        (E.ServerError("s"), E.EXIT_SERVER),
+        (E.Overloaded("q full"), E.EXIT_SERVER),
+        (E.TenantLimit("cap"), E.EXIT_SERVER),
+        (E.ProtocolError("bad frame"), E.EXIT_SERVER),
+        (E.SessionGone("tok"), E.EXIT_SERVER),
     ])
     def test_mapping(self, exc, want):
         assert E.exit_code_for(exc) == want
+
+    def test_unknown_repro_error_subclass_gets_documented_fallback(self):
+        # The regression this guards: a new ReproError family added without
+        # an _EXIT_TABLE row must exit EXIT_OTHER (7), never an unmapped
+        # (or accidental) status.
+        class FutureFamily(E.ReproError):
+            CODE = 299
+
+        assert E.exit_code_for(FutureFamily("novel")) == E.EXIT_OTHER
+        assert E.exit_code_for(RuntimeError("not ours")) == E.EXIT_OTHER
+
+    def test_exit_table_precedence_is_most_specific_first(self):
+        # InvalidArgument and NoSpace are FSErrors but must win their own
+        # rows; TryAgain has no row and falls through to the family's.
+        assert E.exit_code_for(E.InvalidArgument("x")) != E.EXIT_FS_ERROR
+        assert E.exit_code_for(E.TryAgain("busy")) == E.EXIT_FS_ERROR
 
     @pytest.mark.parametrize("exc,want", [
         (E.NoSpace("volume full"), E.EXIT_NO_SPACE),

@@ -1,0 +1,106 @@
+"""Per-tenant admission control (`repro.server.admission`)."""
+
+import pytest
+
+from repro import obs
+from repro.errors import Overloaded, TenantLimit
+from repro.server.admission import AdmissionController, TenantPolicy
+
+
+def make(policy=None, default=None, tenants=("acme",)):
+    policy = policy or TenantPolicy()
+    return AdmissionController({t: policy for t in tenants}, default=default)
+
+
+class TestTenantLookup:
+    def test_unknown_tenant_rejected(self):
+        ctl = make()
+        with pytest.raises(TenantLimit):
+            ctl.tenant("stranger")
+
+    def test_no_tenant_rejected(self):
+        with pytest.raises(TenantLimit):
+            make().tenant(None)
+
+    def test_default_policy_enrolls_unknown_tenants(self):
+        ctl = make(default=TenantPolicy(max_sessions=1))
+        t = ctl.tenant("stranger")
+        assert t.policy.max_sessions == 1
+        assert ctl.tenant("stranger") is t
+
+
+class TestSessions:
+    def test_session_cap_typed_and_retryable(self):
+        ctl = make(TenantPolicy(max_sessions=2))
+        t = ctl.admit_session("acme")
+        ctl.admit_session("acme")
+        with pytest.raises(TenantLimit) as ei:
+            ctl.admit_session("acme")
+        assert ei.value.retryable is True
+        # Releasing a slot re-opens admission.
+        ctl.release_session(t)
+        assert ctl.admit_session("acme").sessions == 2
+
+    def test_draining_rejects_sessions_as_overloaded(self):
+        ctl = make()
+        ctl.draining = True
+        with pytest.raises(Overloaded) as ei:
+            ctl.admit_session("acme")
+        assert ei.value.retryable is True
+
+    def test_release_never_goes_negative(self):
+        ctl = make()
+        t = ctl.tenant("acme")
+        ctl.release_session(t)
+        assert t.sessions == 0
+
+
+class TestRequests:
+    def test_bounded_queue_overflows_to_overloaded(self):
+        ctl = make(TenantPolicy(queue_depth=2))
+        ctl.admit_request("acme", "op1")
+        ctl.admit_request("acme", "op2")
+        with pytest.raises(Overloaded) as ei:
+            ctl.admit_request("acme", "op3")
+        assert ei.value.retryable is True
+        assert "queue full" in str(ei.value)
+
+    def test_draining_rejects_requests(self):
+        ctl = make()
+        ctl.draining = True
+        with pytest.raises(Overloaded):
+            ctl.admit_request("acme", "op")
+
+    def test_pending_counts_queued_plus_executing(self):
+        ctl = make(TenantPolicy(queue_depth=4))
+        t = ctl.admit_request("acme", "op1")
+        ctl.admit_request("acme", "op2")
+        t.queue.get_nowait()
+        ctl.start_execute(t)
+        assert t.pending == 2        # 1 queued + 1 executing
+        ctl.finish_execute(t)
+        assert t.pending == 1
+        assert not ctl.quiesced()
+        t.queue.get_nowait()
+        assert ctl.quiesced()
+
+    def test_reject_metrics_labelled_by_reason(self):
+        obs.reset()
+        obs.enable()
+        try:
+            ctl = make(TenantPolicy(queue_depth=1))
+            ctl.admit_request("acme", "op")
+            with pytest.raises(Overloaded):
+                ctl.admit_request("acme", "op")
+            ctl.draining = True
+            with pytest.raises(Overloaded):
+                ctl.admit_request("acme", "op")
+            rejects = {
+                dict(c.labels)["reason"]: c.value
+                for c in obs.metrics.counters()
+                if c.name == "server.rejects"
+            }
+            assert rejects == {"queue_full": 1, "draining": 1}
+        finally:
+            obs.disable()
+            obs.reset()
