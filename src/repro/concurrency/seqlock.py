@@ -1,0 +1,94 @@
+"""Sequence counters (seqlock read side).
+
+The zero-crossing read path replaces "readers take the bucket spinlock /
+the file rwlock" with optimistic concurrency: writers bump a sequence
+number around every mutation (under whatever lock already serializes
+writers), and readers
+
+1. wait for an even sequence (no writer mid-flight),
+2. do the read with no lock and no shared-cacheline store,
+3. re-check the sequence; a change means the read may be torn — retry.
+
+This is the Linux ``seqcount_t`` discipline.  Two properties matter here:
+
+* a reader that validates saw a state no writer overlapped — so a chain
+  walk cannot have observed a half-spliced list, and a file read cannot
+  interleave two pwrites;
+* validation is two plain loads and a compare.  Unlike a readers-writer
+  lock (whose ``acquire_read`` is a read-modify-write on a shared line)
+  the read side writes nothing, so it scales linearly with cores.
+
+Torn reads are *detected*, not prevented — the memory walked during a
+doomed attempt must therefore stay dereferenceable.  For the directory
+index that is RCU's job (grace-period frees); the seqcount layers on top
+of :mod:`repro.concurrency.rcu`, it does not replace it.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class SeqCount:
+    """One sequence counter; odd while a write is in progress.
+
+    Writers must already be mutually excluded (the bucket spinlock, the
+    file write lock): :meth:`write_begin`/:meth:`write_end` only publish
+    that a write is happening, they do not provide exclusion.  The
+    counter is a plain int — single attribute loads/stores are atomic
+    under the GIL, which stands in for the aligned-word atomicity the C
+    original relies on.
+    """
+
+    __slots__ = ("name", "_seq", "writes", "retries", "read_spins")
+
+    def __init__(self, name: str = "seq"):
+        self.name = name
+        self._seq = 0
+        #: completed write sections.
+        self.writes = 0
+        #: reader validations that failed (a writer overlapped the read).
+        self.retries = 0
+        #: times a reader found the counter odd and had to wait it out.
+        self.read_spins = 0
+
+    @property
+    def sequence(self) -> int:
+        return self._seq
+
+    # -- write side (caller holds the writer lock) ---------------------- #
+
+    def write_begin(self) -> None:
+        self._seq += 1
+
+    def write_end(self) -> None:
+        self._seq += 1
+        self.writes += 1
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        self.write_begin()
+        try:
+            yield
+        finally:
+            self.write_end()
+
+    # -- read side ------------------------------------------------------ #
+
+    def read_begin(self) -> int:
+        """An even sequence to validate against (spins past live writers)."""
+        while True:
+            seq = self._seq
+            if seq & 1 == 0:
+                return seq
+            self.read_spins += 1
+            time.sleep(0)  # yield the GIL to the writer
+
+    def read_retry(self, start: int) -> bool:
+        """True when the optimistic read overlapped a write — retry it."""
+        if self._seq != start:
+            self.retries += 1
+            return True
+        return False

@@ -57,6 +57,27 @@ class ArckConfig:
     #: its own descendants.
     descendant_check: bool = False
 
+    # -- zero-crossing read path (beyond the paper's six patches) ---------- #
+
+    #: Directory lookups validate a per-bucket sequence counter instead of
+    #: taking any lock: writers bump the sequence under the existing bucket
+    #: spinlock, readers retry on a torn read.  Layers on ``rcu_buckets``
+    #: (grace-period frees keep the walked nodes dereferenceable); without
+    #: it the §4.5 use-after-free is still reachable, by design.
+    seqcount_buckets: bool = False
+
+    #: File reads go optimistic: ``pread`` validates a per-file sequence
+    #: bumped by every write/truncate/release instead of taking the
+    #: readers-writer lock's read side (whose acquire is a shared-cacheline
+    #: RMW).  A torn or faulted read re-attaches and retries.
+    seqlock_files: bool = False
+
+    #: Cross-app shared read-only mapping table (KucoFS-style): a verified
+    #: release of a regular file publishes it, and any app may then attach
+    #: it for read without a kernel crossing; any write acquisition (or
+    #: deletion) invalidates the published version.
+    read_mapping_cache: bool = False
+
     # -- structural parameters (identical across variants) ---------------- #
 
     #: Hash buckets per directory.
@@ -111,4 +132,23 @@ ARCKFS_PLUS = ArckConfig(
     rcu_buckets=True,
     global_rename_lock=True,
     descendant_check=True,
+)
+
+#: ArckFS+ with the zero-crossing read path on top: seqcount bucket
+#: lookups, optimistic file reads and the cross-app read-only mapping
+#: cache.  The correctness patches are identical to ARCKFS_PLUS; only the
+#: read-side synchronization strategy changes.
+ARCKFS_PLUS_ZC = ArckConfig(
+    name="arckfs+zc",
+    rename_commit_protocol=True,
+    shadow_parent_pointer=True,
+    fence_before_marker=True,
+    locked_release=True,
+    extended_bucket_lock=True,
+    rcu_buckets=True,
+    global_rename_lock=True,
+    descendant_check=True,
+    seqcount_buckets=True,
+    seqlock_files=True,
+    read_mapping_cache=True,
 )

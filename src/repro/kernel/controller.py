@@ -35,6 +35,7 @@ from repro.errors import (
 )
 from repro.kernel.permissions import READ, WRITE, check_access
 from repro.kernel.policy import ResolutionPolicy, RollbackPolicy
+from repro.kernel.readcache import ReadMappingCache
 from repro.kernel.shadow import Acquisition, PendingInode, ShadowInode, Snapshot
 from repro.kernel.verifier import VerifyFailure
 from repro.kernel.vpipeline import PipelinedVerifier
@@ -120,6 +121,9 @@ class KernelController:
         self.rename_lease = Lease("global-rename", duration=1.0)
         self.delegations = DelegationTable("read-delegation",
                                            duration=config.delegation_window)
+        #: cross-app shared read-only mapping table (zero-crossing reads).
+        #: Always constructed; only populated when the config opts in.
+        self.readcache = ReadMappingCache(device)
         self.stats = KernelStats()
         self._lock = threading.RLock()
 
@@ -357,6 +361,7 @@ class KernelController:
                         if sh is not None:
                             check_access(sh.mode, sh.uid, app.uid, WRITE, f"inode {ino}")
                         acq.writable = True
+                        self.readcache.invalidate(ino)
                     return acq.mapping  # idempotent re-acquire
                 raise TryAgain(f"inode {ino} owned by {acq.app_id}")
             if sh is not None:
@@ -383,6 +388,8 @@ class KernelController:
                         self.stats.acquires += 1
                         self.stats.delegation_hits += 1
                         obs.count("verify.delegation_hits")
+                        if write:
+                            self.readcache.invalidate(ino)
                         return mapping
                     # Cross-app acquisition (the revoke-on-write of the
                     # delegation contract — reads too: nothing unverified
@@ -405,6 +412,11 @@ class KernelController:
             )
             self._last_owner[ino] = app_id
             self.stats.acquires += 1
+            if write:
+                # Writers must never coexist with zero-crossing readers:
+                # retract the published version and revoke every cached
+                # mapping before the writer sees its own mapping.
+                self.readcache.invalidate(ino)
             return mapping
 
     def acquire_ex(self, app_id: str, ino: int, write: bool = True):
@@ -495,6 +507,15 @@ class KernelController:
                 acq.mapping.unmap()
                 del self.acquisitions[ino]
             self.stats.releases += 1
+            if self.config.read_mapping_cache:
+                # The inode is verified as of this instant: publish it so
+                # other apps can read-attach with zero kernel crossings.
+                # Directories stay unpublished (their staged dentries gate
+                # children's verification ordering, as with delegation).
+                sh = self.shadow.get(ino)
+                if (sh is not None and not sh.is_dir
+                        and not sh.inaccessible and not sh.deleted_pending):
+                    self.readcache.publish(ino)
 
     def revoke(self, ino: int) -> None:
         """Involuntary release: the kernel forcefully takes the inode back.
@@ -696,6 +717,7 @@ class KernelController:
         csh = self.shadow.pop(ino, None)
         if csh is None:
             return
+        self.readcache.invalidate(ino)
         for page_no in [p for p, owner in self.page_owner.items() if owner == ino]:
             del self.page_owner[page_no]
         self.free_inodes.add(ino)

@@ -19,20 +19,34 @@ in and around this structure:
 * §4.3 — voluntary inode release must exclude concurrent operations; the
   ArckFS+ patch takes *all* bucket locks (:meth:`DirHashTable.lock_all`)
   and retains the table (rather than freeing it) after release.
+
+Beyond the paper, ``seqcount_buckets`` adds a third read-side mode: every
+bucket carries a :class:`~repro.concurrency.seqlock.SeqCount` that writers
+bump under the bucket spinlock, and :meth:`lookup` validates it around an
+RCU-protected walk instead of ever touching the lock.  RCU keeps the nodes
+dereferenceable during a doomed attempt; the sequence check adds what RCU
+alone cannot give — walk *consistency* (a reader overlapping a rebuild
+would otherwise see a half-emptied chain and report a spurious miss).
 """
 
 from __future__ import annotations
 
 import threading
 import zlib
-from typing import Iterator, List, Optional
+from typing import List, Optional
 
+from repro import obs
 from repro.concurrency.failpoints import failpoints
 from repro.concurrency.rcu import RCU
+from repro.concurrency.seqlock import SeqCount
 from repro.concurrency.spinlock import SpinLock
 from repro.core.config import ArckConfig
 from repro.core.corestate import DentryLoc
 from repro.errors import SimulatedSegfault
+
+#: torn-read retries before a seqcount lookup falls back to the bucket
+#: lock (a writer storm must not starve readers forever).
+SEQ_RETRY_LIMIT = 16
 
 
 class Node:
@@ -99,11 +113,17 @@ class NodeFreelist:
 
 
 class Bucket:
-    __slots__ = ("lock", "head")
+    __slots__ = ("lock", "head", "seq", "count")
 
     def __init__(self, name: str):
         self.lock = SpinLock(name)
         self.head: Optional[Node] = None
+        #: bumped (under ``lock``) around every chain mutation, validated
+        #: by seqcount-mode readers.
+        self.seq = SeqCount(f"{name}.seq")
+        #: live entries in this chain, mutated only under ``lock`` — the
+        #: per-bucket shard of the table's entry count.
+        self.count = 0
 
 
 class DirHashTable:
@@ -116,7 +136,19 @@ class DirHashTable:
         self.freelist = freelist
         self.nbuckets = config.dir_buckets
         self.buckets = [Bucket(f"{tag}.bucket{i}") for i in range(self.nbuckets)]
-        self.count = 0  # live entries; mutated under bucket locks only
+        #: seqcount lookups that had to retry after a torn read.
+        self.lookup_retries = 0
+
+    @property
+    def count(self) -> int:
+        """Live entries: the per-bucket counts folded on read.
+
+        Each shard is mutated only under its own bucket lock.  The old
+        shared ``self.count`` int was mutated under *different* bucket
+        locks, so concurrent inserts into different buckets raced and
+        lost updates.
+        """
+        return sum(b.count for b in self.buckets)
 
     # ------------------------------------------------------------------ #
 
@@ -127,6 +159,10 @@ class DirHashTable:
 
     def bucket_of(self, name: bytes) -> Bucket:
         return self.buckets[self.bucket_index(name)]
+
+    def _deferred_free(self) -> bool:
+        """Frees ride a grace period in both RCU-read modes."""
+        return self.config.rcu_buckets or self.config.seqcount_buckets
 
     # ------------------------------------------------------------------ #
     # Read side
@@ -143,32 +179,87 @@ class DirHashTable:
         return None
 
     def lookup(self, name: bytes) -> Optional[Node]:
-        """Find an entry.  ArckFS: lock-free (bug §4.5); ArckFS+: RCU."""
+        """Find an entry.
+
+        ArckFS: lock-free (bug §4.5).  ArckFS+: RCU read section.  With
+        ``seqcount_buckets`` additionally validated against the bucket's
+        sequence counter, retrying torn reads.
+        """
         bucket = self.bucket_of(name)
+        if self.config.seqcount_buckets:
+            return self._lookup_seqcount(bucket, name)
         if self.config.rcu_buckets:
             with self.rcu.read():
                 return self._walk(bucket, name)
         return self._walk(bucket, name)
 
+    def _lookup_seqcount(self, bucket: Bucket, name: bytes) -> Optional[Node]:
+        for _attempt in range(SEQ_RETRY_LIMIT):
+            with self.rcu.read():
+                start = bucket.seq.read_begin()
+                node = self._walk(bucket, name)
+                if not bucket.seq.read_retry(start):
+                    return node
+            self.lookup_retries += 1
+            obs.count("dir.lookup_retries")
+        # Writer storm: take the lock rather than spin unboundedly.
+        with bucket.lock:
+            return self._walk(bucket, name)
+
     def lookup_locked(self, name: bytes) -> Optional[Node]:
         """Find an entry; caller holds the bucket lock (writer paths)."""
         return self._walk(self.bucket_of(name), name)
 
-    def items(self) -> Iterator[Node]:
-        """Iterate every entry (readdir).  Same read-side discipline."""
-        if self.config.rcu_buckets:
-            self.rcu.read_lock()
-        try:
-            for bucket in self.buckets:
+    def items(self) -> List[Node]:
+        """Snapshot every entry (readdir) as a list.
+
+        The snapshot is built *inside* the read-side critical section and
+        returned whole.  (An earlier version returned a generator that
+        held the RCU read lock open across consumer code, so an abandoned
+        ``readdir`` iterator pinned grace periods indefinitely.)
+        """
+        seqcount = self.config.seqcount_buckets
+        if self.config.rcu_buckets or seqcount:
+            with self.rcu.read():
+                return self._snapshot(seqcount)
+        return self._snapshot(False)
+
+    def _snapshot(self, seqcount: bool) -> List[Node]:
+        out: List[Node] = []
+        for bucket in self.buckets:
+            if seqcount:
+                out.extend(self._snapshot_bucket_seq(bucket))
+            else:
                 node = bucket.head
                 while node is not None:
                     failpoints.hit("dir.bucket_traverse", node)
                     node.check()
-                    yield node
+                    out.append(node)
                     node = node.next
-        finally:
-            if self.config.rcu_buckets:
-                self.rcu.read_unlock()
+        return out
+
+    def _snapshot_bucket_seq(self, bucket: Bucket) -> List[Node]:
+        for _attempt in range(SEQ_RETRY_LIMIT):
+            start = bucket.seq.read_begin()
+            chain: List[Node] = []
+            node = bucket.head
+            while node is not None:
+                failpoints.hit("dir.bucket_traverse", node)
+                node.check()
+                chain.append(node)
+                node = node.next
+            if not bucket.seq.read_retry(start):
+                return chain
+            self.lookup_retries += 1
+            obs.count("dir.lookup_retries")
+        with bucket.lock:
+            chain = []
+            node = bucket.head
+            while node is not None:
+                node.check()
+                chain.append(node)
+                node = node.next
+            return chain
 
     # ------------------------------------------------------------------ #
     # Write side (caller holds the bucket lock)
@@ -178,9 +269,10 @@ class DirHashTable:
         bucket = self.bucket_of(node.name)
         if not bucket.lock.held_by_me():
             raise RuntimeError("insert without bucket lock")
-        node.next = bucket.head
-        bucket.head = node
-        self.count += 1
+        with bucket.seq.write():
+            node.next = bucket.head
+            bucket.head = node
+            bucket.count += 1
 
     def remove_locked(self, name: bytes) -> Optional[Node]:
         """Unlink the entry from its chain and *free* it.
@@ -195,12 +287,13 @@ class DirHashTable:
         node = bucket.head
         while node is not None:
             if node.name == name:
-                if prev is None:
-                    bucket.head = node.next
-                else:
-                    prev.next = node.next
-                self.count -= 1
-                if self.config.rcu_buckets:
+                with bucket.seq.write():
+                    if prev is None:
+                        bucket.head = node.next
+                    else:
+                        prev.next = node.next
+                    bucket.count -= 1
+                if self._deferred_free():
                     self.rcu.call_rcu(lambda n=node: self.freelist.free(n))
                 else:
                     self.freelist.free(node)
@@ -226,30 +319,40 @@ class DirHashTable:
         """Free every node immediately (ArckFS release path, §4.3 bug:
         auxiliary state is freed while others may still be using it)."""
         for bucket in self.buckets:
-            node = bucket.head
-            bucket.head = None
+            with bucket.seq.write():
+                node = bucket.head
+                bucket.head = None
+                bucket.count = 0
             while node is not None:
                 nxt = node.next
                 self.freelist.free(node)
                 node = nxt
-        self.count = 0
 
     def rebuild(self, entries) -> None:
-        """Replace contents from (name -> Dentry-like) after re-acquire."""
-        for bucket in self.buckets:
-            node = bucket.head
-            bucket.head = None
-            while node is not None:
-                nxt = node.next
-                if self.config.rcu_buckets:
-                    self.rcu.call_rcu(lambda n=node: self.freelist.free(n))
-                else:
-                    self.freelist.free(node)
-                node = nxt
-        self.count = 0
+        """Replace contents from (name -> Dentry-like) after re-acquire.
+
+        Each bucket's old chain is swapped for its new one inside a single
+        sequence-write section, so a concurrent seqcount reader never
+        observes the empty between-states; old nodes are freed via RCU in
+        the deferred-free modes.
+        """
+        by_bucket: List[List[Node]] = [[] for _ in range(self.nbuckets)]
         for name, (ino, gen, itype, seq, loc) in entries.items():
-            bucket = self.bucket_of(name)
             node = self.freelist.alloc(name, ino, gen, itype, seq, loc)
-            node.next = bucket.head
-            bucket.head = node
-            self.count += 1
+            by_bucket[self.bucket_index(name)].append(node)
+        for bucket, new_nodes in zip(self.buckets, by_bucket):
+            head: Optional[Node] = None
+            for node in new_nodes:
+                node.next = head
+                head = node
+            with bucket.seq.write():
+                old = bucket.head
+                bucket.head = head
+                bucket.count = len(new_nodes)
+            while old is not None:
+                nxt = old.next
+                if self._deferred_free():
+                    self.rcu.call_rcu(lambda n=old: self.freelist.free(n))
+                else:
+                    self.freelist.free(old)
+                old = nxt

@@ -18,6 +18,7 @@ from typing import List, Optional
 
 from repro.concurrency.rcu import RCU
 from repro.concurrency.rwlock import RWLock
+from repro.concurrency.seqlock import SeqCount
 from repro.concurrency.spinlock import SpinLock
 from repro.core.config import ArckConfig
 from repro.core.corestate import TailCursor
@@ -41,6 +42,10 @@ class MemInode:
         self.parent_ino: Optional[int] = None
         #: serialises attach/detach transitions for this inode.
         self.attach_lock = threading.RLock()
+        #: read-mapping-cache version this attach rode, or None for a real
+        #: kernel acquisition.  A cache-attached inode is read-only and is
+        #: revalidated against the kernel's published version before use.
+        self.cache_version: Optional[int] = None
 
         # Cached shadow fields (§4.3): readers use these, never the mapping.
         self.gen = record.gen
@@ -69,6 +74,9 @@ class MemInode:
             self.rwlock = RWLock(f"ino{ino}.rw")
             #: DRAM page index (auxiliary); rebuilt from the PM page index.
             self.pages = []
+            #: bumped (under the write lock) by every pwrite/truncate and
+            #: around release/unmap; optimistic preads validate against it.
+            self.seq = SeqCount(f"ino{ino}.seq")
 
     @property
     def is_dir(self) -> bool:

@@ -32,6 +32,7 @@ from repro import obs
 from repro.concurrency.failpoints import failpoints
 from repro.obs.instrument import traced_syscall
 from repro.concurrency.lease import LeaseExpired
+from repro.concurrency.percpu import ShardedStats
 from repro.concurrency.rcu import RCU
 from repro.core.config import ArckConfig
 from repro.core.corestate import CoreState, DentryLoc
@@ -44,6 +45,7 @@ from repro.errors import (
     NoEntry,
     NotADir,
     NotEmpty,
+    SimulatedBusError,
     SimulatedSegfault,
     WouldLoop,
 )
@@ -61,6 +63,9 @@ from repro.pm.layout import (
     Dentry,
     InodeRecord,
 )
+
+#: optimistic (seqlock) pread attempts before falling back to the read lock.
+PREAD_RETRY_LIMIT = 8
 
 
 @dataclass(frozen=True)
@@ -117,9 +122,16 @@ class LibFS:
         self.rcu = RCU(f"{app_id}.rcu")
         self.freelist = NodeFreelist()
         self.fdtable = FDTable()
-        self.stats = LibFSStats()
+        #: per-thread stat shards — the syscall fast path bumps a private
+        #: cell, never a shared cacheline (read via the ``stats`` property).
+        self._stats = ShardedStats(LibFSStats)
         self._inodes: Dict[int, MemInode] = {}
         self._inodes_lock = threading.RLock()
+
+    @property
+    def stats(self) -> LibFSStats:
+        """Current counters, folded across thread shards."""
+        return self._stats.fold()
 
     # ================================================================== #
     # Attach / detach machinery
@@ -161,6 +173,10 @@ class LibFS:
         with self._inodes_lock:
             mi = self._inodes.get(ino)
         if mi is None:
+            if not write and self.config.read_mapping_cache:
+                mi = self._cache_attach_new(ino, parent_ino)
+                if mi is not None:
+                    return mi
             mapping, _stale = self.kernel.acquire_ex(self.app_id, ino, write=write)
             rec = CoreState(mapping, self.geom).read_inode(ino)
             mi = MemInode(ino, rec, self.config, self.rcu, self.freelist)
@@ -182,27 +198,96 @@ class LibFS:
         with mi.attach_lock:
             if mi.attached and (mi.writable or not write):
                 return mi
+            if (not write and not mi.writable
+                    and self.config.read_mapping_cache
+                    and self._try_cache_attach(mi)):
+                return mi
+            was_cached = mi.cache_version is not None
+            if was_cached:
+                # Promote (or revalidate) a cache attach via a real kernel
+                # acquisition: hand the cached mapping back first.  A write
+                # acquisition invalidates the published entry anyway.
+                old = mi.mapping
+                mi.cache_version = None
+                if old is not None and old.valid:
+                    self.kernel.readcache.detach(ino, old)
             mapping, stale = self.kernel.acquire_ex(
                 self.app_id, ino, write=write or mi.writable
             )
             mi.mapping = mapping
             mi.writable = mi.writable or write
-            if stale:
+            if stale or was_cached:
                 # Another application owned it meanwhile: the retained aux
                 # state is no longer the core state's image — rebuild.
                 self._rebuild_aux(mi)
         return mi
+
+    def _cache_attach_new(self, ino: int,
+                          parent_ino: Optional[int]) -> Optional[MemInode]:
+        """First attach of an inode via the zero-crossing mapping table."""
+        cached = self.kernel.readcache.attach(self.app_id, ino)
+        if cached is None:
+            return None
+        mapping, version = cached
+        try:
+            rec = CoreState(mapping, self.geom).read_inode(ino)
+            mi = MemInode(ino, rec, self.config, self.rcu, self.freelist)
+            mi.mapping = mapping
+            mi.cache_version = version
+            mi.parent_ino = parent_ino
+            self._rebuild_aux(mi)
+        except SimulatedBusError:
+            # Revoked between attach and rebuild — caller falls back to a
+            # real (crossing, verifying) acquisition.
+            self.kernel.readcache.detach(ino, mapping)
+            return None
+        with self._inodes_lock:
+            existing = self._inodes.get(ino)
+            if existing is None:
+                self._inodes[ino] = mi
+        if existing is not None:
+            self.kernel.readcache.detach(ino, mapping)
+            return existing  # lost the build race
+        obs.count("readpath.crossings_avoided")
+        return mi
+
+    def _try_cache_attach(self, mi: MemInode) -> bool:
+        """Re-attach a known (retained or stale-cached) inode read-only via
+        the published mapping table; no kernel crossing on success."""
+        cached = self.kernel.readcache.attach(self.app_id, mi.ino)
+        if cached is None:
+            return False
+        mapping, version = cached
+        old_mapping, old_version = mi.mapping, mi.cache_version
+        mi.mapping = mapping
+        mi.cache_version = version
+        try:
+            self._rebuild_aux(mi)
+        except SimulatedBusError:
+            self.kernel.readcache.detach(mi.ino, mapping)
+            mi.mapping, mi.cache_version = old_mapping, old_version
+            return False
+        obs.count("readpath.crossings_avoided")
+        return True
 
     def _get_for_read(self, ino: int) -> MemInode:
         """An inode usable for read operations.
 
         Under the §4.3 patch, a retained (released) MemInode serves reads
         from cached state without a kernel round trip; otherwise attach.
+        A cache-attached inode is revalidated against the published version
+        every time — stale means the cached attach is dropped and a real
+        acquisition (with rebuild) happens.
         """
         with self._inodes_lock:
             mi = self._inodes.get(ino)
-        if mi is not None and (mi.attached or self.config.locked_release):
-            return mi
+        if mi is not None:
+            if mi.cache_version is not None:
+                if mi.attached and self.kernel.readcache.valid(
+                        ino, mi.cache_version):
+                    return mi
+            elif mi.attached or self.config.locked_release:
+                return mi
         return self._attach(ino, write=False)
 
     def _lock_bucket_attached(self, mi: MemInode, name: bytes):
@@ -227,7 +312,7 @@ class LibFS:
     # ================================================================== #
 
     def _lookup_node(self, dir_mi: MemInode, name: bytes):
-        self.stats.lookups += 1
+        self._stats.inc("lookups")
         return dir_mi.dir.lookup(name)
 
     def _resolve_dir(self, path: str) -> MemInode:
@@ -353,14 +438,14 @@ class LibFS:
         """Create a regular file; returns a writable file descriptor."""
         path = paths.normalize(path)
         child = self._create_common(path, mode, ITYPE_FILE)
-        self.stats.creates += 1
+        self._stats.inc("creates")
         return self.fdtable.install(child, path).fd
 
     @traced_syscall("mkdir")
     def mkdir(self, path: str, mode: int = 0o775) -> None:
         path = paths.normalize(path)
         self._create_common(path, mode, ITYPE_DIR)
-        self.stats.mkdirs += 1
+        self._stats.inc("mkdirs")
 
     # ================================================================== #
     # Open / close / stat / readdir
@@ -379,7 +464,7 @@ class LibFS:
             raise IsADir(path)
         mi = self._get_for_read(node.ino)
         mi.parent_ino = parent.ino
-        self.stats.opens += 1
+        self._stats.inc("opens")
         return self.fdtable.install(mi, path).fd
 
     @traced_syscall("close")
@@ -389,7 +474,7 @@ class LibFS:
     @traced_syscall("stat")
     def stat(self, path: str) -> StatResult:
         path = paths.normalize(path)
-        self.stats.stats_ += 1
+        self._stats.inc("stats_")
         if path == "/":
             mi = self._get_for_read(ROOT_INO)
         else:
@@ -410,7 +495,7 @@ class LibFS:
         mi = self._resolve_dir(paths.normalize(path))
         if not mi.is_dir:
             raise NotADir(path)
-        self.stats.readdirs += 1
+        self._stats.inc("readdirs")
         return sorted(node.name.decode() for node in mi.dir.items())
 
     def exists(self, path: str) -> bool:
@@ -438,6 +523,7 @@ class LibFS:
             raise InvalidArgument("negative offset")
         data = bytes(data)
         mi.rwlock.acquire_write()
+        mi.seq.write_begin()  # readers see the write in flight and retry
         try:
             self._attach(mi.ino, write=True)
             cs = self._cs(mi)
@@ -492,29 +578,74 @@ class LibFS:
                 cs.set_file_size(mi.ino, end)
                 mi.record.size = end
                 mi.size = end
-            self.stats.writes += 1
-            self.stats.write_extents += extents
-            self.stats.bytes_written += len(data)
+            self._stats.inc("writes")
+            self._stats.inc("write_extents", extents)
+            self._stats.inc("bytes_written", len(data))
             if extents:
                 obs.count("pwrite.extents", extents)
             return len(data)
         finally:
+            mi.seq.write_end()
             mi.rwlock.release_write()
 
     @traced_syscall("pread")
     def pread(self, fd: int, n: int, offset: int) -> bytes:
         entry = self.fdtable.get(fd)
         mi = self._ensure_file(entry)
+        if self.config.seqlock_files:
+            out = self._pread_optimistic(mi, n, offset)
+            if out is not None:
+                return out
         mi.rwlock.acquire_read()
         try:
-            self._attach(mi.ino, write=False)
-            cs = self._cs(mi)
-            out = cs.read_file_data(mi.pages, mi.size, offset, n)
-            self.stats.reads += 1
-            self.stats.bytes_read += len(out)
-            return out
+            attempts = 0
+            while True:
+                try:
+                    self._attach(mi.ino, write=False)
+                    out = self._cs(mi).read_file_data(mi.pages, mi.size,
+                                                      offset, n)
+                except SimulatedBusError:
+                    # Under the zero-crossing modes a mapping can be pulled
+                    # out from underneath a reader without the rwlock (cache
+                    # revocation, local cache release): revalidate and
+                    # re-attach, bounded so a genuinely dead inode still
+                    # surfaces.  Seed configs keep the fault — it IS §4.3.
+                    attempts += 1
+                    if (self.config.read_mapping_cache
+                            or self.config.seqlock_files) \
+                            and attempts <= PREAD_RETRY_LIMIT:
+                        continue
+                    raise
+                self._stats.inc("reads")
+                self._stats.inc("bytes_read", len(out))
+                return out
         finally:
             mi.rwlock.release_read()
+
+    def _pread_optimistic(self, mi: MemInode, n: int,
+                          offset: int) -> Optional[bytes]:
+        """Seqlock read: no read-lock RMW on the shared lock cacheline.
+
+        Validates the per-file sequence around the copy; a torn read (a
+        pwrite/truncate/release overlapped) or a revoked cached mapping
+        retries, and a writer storm falls back to the read lock (None).
+        """
+        for _attempt in range(PREAD_RETRY_LIMIT):
+            start = mi.seq.read_begin()
+            try:
+                self._attach(mi.ino, write=False)
+                out = self._cs(mi).read_file_data(mi.pages, mi.size, offset, n)
+            except (SimulatedBusError, IndexError):
+                # Mapping revoked underneath us, or a torn pages/size pair
+                # from a concurrent truncate — both invalidate the attempt.
+                obs.count("readpath.pread_retries")
+                continue
+            if not mi.seq.read_retry(start):
+                self._stats.inc("reads")
+                self._stats.inc("bytes_read", len(out))
+                return out
+            obs.count("readpath.pread_retries")
+        return None
 
     @traced_syscall("write")
     def write(self, fd: int, data: bytes) -> int:
@@ -548,6 +679,7 @@ class LibFS:
             raise IsADir(path)
         mi = self._attach(node.ino, write=True)
         mi.rwlock.acquire_write()
+        mi.seq.write_begin()
         try:
             cs = self._cs(mi)
             if size >= mi.size:
@@ -563,6 +695,7 @@ class LibFS:
             if keep < len(mi.pages):
                 self._drop_trailing_pages(mi, cs, keep)
         finally:
+            mi.seq.write_end()
             mi.rwlock.release_write()
 
     def _drop_trailing_pages(self, mi: MemInode, cs: CoreState, keep: int) -> None:
@@ -588,7 +721,7 @@ class LibFS:
     def fsync(self, fd: int) -> None:
         """Returns immediately: every operation already persisted (§2.2)."""
         self.fdtable.get(fd)
-        self.stats.fsyncs += 1
+        self._stats.inc("fsyncs")
 
     # ================================================================== #
     # Unlink / rmdir
@@ -619,7 +752,7 @@ class LibFS:
         finally:
             bucket.lock.release()
         self._free_file_inode(ino)
-        self.stats.unlinks += 1
+        self._stats.inc("unlinks")
 
     def _free_file_inode(self, ino: int) -> None:
         """Free a just-unlinked file's pages and record, then hand the inode
@@ -627,12 +760,14 @@ class LibFS:
         the parent is next verified)."""
         mi = self._attach(ino, write=True)
         mi.rwlock.acquire_write()
+        mi.seq.write_begin()
         try:
             cs = self._cs(mi)
             for page_no in cs.index_pages(mi.record) + mi.pages:
                 self.alloc.free(page_no)
             cs.free_inode(ino)
         finally:
+            mi.seq.write_end()
             mi.rwlock.release_write()
         self.kernel.release(self.app_id, ino)
         with self._inodes_lock:
@@ -675,7 +810,7 @@ class LibFS:
         self.kernel.release(self.app_id, child.ino)
         with self._inodes_lock:
             self._inodes.pop(child.ino, None)
-        self.stats.rmdirs += 1
+        self._stats.inc("rmdirs")
 
     # ================================================================== #
     # Rename (§3.2 rules, §4.1/§4.6 patches)
@@ -741,7 +876,7 @@ class LibFS:
                 except LeaseExpired:
                     pass  # lapsed mid-operation; the verifier's check (3)
                     # protects integrity, nothing left to release
-        self.stats.renames += 1
+        self._stats.inc("renames")
 
     def _commit_path_chain(self, dir_path: str) -> None:
         """Commit every directory from the root down to ``dir_path``."""
@@ -834,7 +969,21 @@ class LibFS:
         """Voluntary release (§4.3 — the patch changes everything here)."""
         with self._inodes_lock:
             mi = self._inodes.get(ino)
-        if mi is None or not mi.attached:
+        if mi is None:
+            return
+        if mi.cache_version is not None:
+            # Cache-attached: no kernel acquisition exists — hand the
+            # mapping back to the shared table locally, no crossing.  The
+            # MemInode (and the now-unmapped mapping object) is retained
+            # like any §4.3 release, so open fds re-attach on demand.
+            mapping = mi.mapping
+            if mapping is not None:
+                self.kernel.readcache.detach(ino, mapping)
+            # Cleared only after the unmap: a reader that faults mid-read
+            # still sees the cache marker and retries instead of raising.
+            mi.cache_version = None
+            return
+        if not mi.attached:
             return
         if self.config.locked_release:
             # ArckFS+: exclude every concurrent operation, then unmap; the
@@ -843,6 +992,7 @@ class LibFS:
                 mi.dir.lock_all()
             else:
                 mi.rwlock.acquire_write()
+                mi.seq.write_begin()  # optimistic readers retry, then re-attach
             try:
                 failpoints.hit("release.pre_unmap", ino)
                 try:
@@ -854,6 +1004,7 @@ class LibFS:
                 if mi.is_dir:
                     mi.dir.unlock_all()
                 else:
+                    mi.seq.write_end()
                     mi.rwlock.release_write()
         else:
             # ArckFS: no exclusion, and the auxiliary state is freed while

@@ -99,6 +99,22 @@ class CostModel:
     #: cache-line bouncing on its in-memory inode.  Identical for both.
     mrph_hot_extra: float = 900.0
 
+    # -- zero-crossing read path (libfs/hashtable, concurrency/percpu) ----- #
+    #: [hw] one atomic RMW on a shared cacheline (lock-prefixed op with the
+    #: line bouncing between cores) — the unit cost of an rwlock read
+    #: acquire/release and of a shared-counter increment.
+    cacheline_rmw: float = 90.0
+    #: [struct] seqcount validation: two sequence loads + compare around
+    #: the read-side critical section (thread-private, no RMW).
+    seq_read_check: float = 8.0
+    #: [struct] sharded-counter add: one thread-private increment.
+    sharded_counter_add: float = 5.0
+    #: [struct] folding one shard on a counter read (cold path).
+    counter_fold_per_shard: float = 12.0
+    #: [struct] probing the published-version table on a cache attach or
+    #: revalidation: one shared read-mostly load, no kernel crossing.
+    readcache_probe: float = 40.0
+
     # ------------------------------------------------------------------ #
     # Kernel FS family
     # ------------------------------------------------------------------ #

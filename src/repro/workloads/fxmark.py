@@ -309,9 +309,12 @@ METADATA_WORKLOADS: List[str] = [
 # --------------------------------------------------------------------------- #
 
 
-def _data_ctx(op, shared):
+def _data_ctx(op, shared, hot=False):
     def ctx(tid, i, n):
-        return {"op": op, "size": 4096, "dir": "shared" if shared else f"p{tid}"}
+        out = {"op": op, "size": 4096, "dir": "shared" if shared else f"p{tid}"}
+        if hot:
+            out["hot"] = 0
+        return out
 
     return ctx
 
@@ -324,12 +327,12 @@ def _prepare_data(fs: FileSystem, nthreads: int) -> None:
         fs.write_file(f"/p{tid}/blk", b"\0" * (FILES_PER_THREAD * 4096))
 
 
-def _data_run(op, shared):
+def _data_run(op, shared, hot=False):
     def run(fs: FileSystem, tid: int, i: int) -> None:
         path = "/shared/blk" if shared else f"/p{tid}/blk"
         fd = fs.open(path)
         try:
-            off = (_h(tid, i) % FILES_PER_THREAD) * 4096
+            off = 0 if hot else (_h(tid, i) % FILES_PER_THREAD) * 4096
             if op == "read":
                 fs.pread(fd, 4096, off)
             else:
@@ -340,7 +343,9 @@ def _data_run(op, shared):
     return run
 
 
-#: data-operation workloads (FxMark's DRBL/DRBM/DWOL family).
+#: data-operation workloads (FxMark's DRBL/DRBM/DWOL family, plus DRBH —
+#: every thread reads the same hot block, the read-path stress case where
+#: the rwlock read-side RMW bounces one cacheline across all cores).
 DATA_WORKLOADS: Dict[str, FxMark] = {
     "DRBL": FxMark("DRBL", "Read a 4K block of a private file.",
                    _data_ctx("read", False), _data_run("read", False),
@@ -348,10 +353,17 @@ DATA_WORKLOADS: Dict[str, FxMark] = {
     "DRBM": FxMark("DRBM", "Read a 4K block of a shared file.",
                    _data_ctx("read", True), _data_run("read", True),
                    _prepare_data, is_data=True),
+    "DRBH": FxMark("DRBH", "Read the same 4K block of one shared file.",
+                   _data_ctx("read", True, hot=True),
+                   _data_run("read", True, hot=True),
+                   _prepare_data, is_data=True),
     "DWOL": FxMark("DWOL", "Overwrite a 4K block of a private file.",
                    _data_ctx("write", False), _data_run("write", False),
                    _prepare_data, is_data=True),
 }
+
+#: the read-mostly subset driven by the read-scaling benchmark.
+READ_HEAVY_WORKLOADS: List[str] = ["DRBL", "DRBM", "DRBH"]
 
 
 def run_functional(workload: FxMark, fs: FileSystem, nthreads: int = 1,

@@ -1,0 +1,173 @@
+"""The cross-app read-mostly mapping cache (zero-crossing reads).
+
+A verified release of a regular file publishes it into the kernel's shared
+read-only table; other applications then read-attach with **no kernel
+crossing**.  Any write acquisition (or deletion) invalidates the entry and
+revokes every handed-out mapping before the writer proceeds.
+"""
+
+import pytest
+
+from repro import obs
+from repro.core.config import ARCKFS_PLUS, ARCKFS_PLUS_ZC
+from repro.kernel.controller import KernelController
+from repro.libfs.libfs import LibFS
+from repro.pm.device import PMDevice
+
+
+def two_apps(config=ARCKFS_PLUS_ZC):
+    device = PMDevice(64 * 1024 * 1024)
+    kernel = KernelController.fresh(device, inode_count=256, config=config)
+    app1 = LibFS(kernel, "app1", uid=1000, config=config)
+    app2 = LibFS(kernel, "app2", uid=1000, config=config)
+    return device, kernel, app1, app2
+
+
+def crossings() -> int:
+    return obs.metrics.snapshot()["counters"].get("kernel.crossings", 0)
+
+
+class TestPublish:
+    def test_verified_release_publishes_regular_file(self):
+        _dev, kernel, app1, _app2 = two_apps()
+        app1.write_file("/f", b"data")
+        ino = app1.stat("/f").ino
+        assert kernel.readcache.published(ino) is None  # still owned
+        app1.release_all()
+        assert kernel.readcache.published(ino) is not None
+        assert kernel.readcache.stats.publishes >= 1
+
+    def test_directories_never_published(self):
+        _dev, kernel, app1, _app2 = two_apps()
+        app1.mkdir("/d")
+        ino = app1.stat("/d").ino
+        app1.release_all()
+        assert kernel.readcache.published(ino) is None
+
+    def test_seed_config_never_publishes(self):
+        _dev, kernel, app1, _app2 = two_apps(config=ARCKFS_PLUS)
+        app1.write_file("/f", b"data")
+        app1.release_all()
+        assert kernel.readcache.stats.publishes == 0
+
+
+class TestZeroCrossingReads:
+    def test_steady_state_reads_cost_zero_crossings(self):
+        _dev, kernel, app1, app2 = two_apps()
+        payload = b"published!" * 100
+        app1.write_file("/f", payload)
+        app1.release_all()
+
+        # Warm app2's directory state (real acquisitions, crossings OK).
+        # This already cache-attaches /f itself — zero crossings from here.
+        hits0 = kernel.readcache.stats.hits
+        assert app2.stat("/f").size == len(payload)
+        assert kernel.readcache.stats.hits > hits0
+
+        obs.reset()
+        obs.enable()
+        try:
+            for _ in range(16):
+                fd = app2.open("/f")
+                assert app2.pread(fd, len(payload), 0) == payload
+                app2.close(fd)
+            snap = obs.metrics.snapshot()["counters"]
+        finally:
+            obs.disable()
+            obs.reset()
+        # Steady state: every op revalidated the published version and
+        # nothing entered the kernel in the measured window.
+        assert snap.get("kernel.crossings", 0) == 0, snap
+        assert kernel.readcache.stats.validations >= 16
+
+    def test_successive_readers_share_the_published_file(self):
+        _dev, kernel, app1, app2 = two_apps()
+        app3 = LibFS(kernel, "app3", uid=1000, config=app1.config)
+        app1.write_file("/f", b"shared-data")
+        app1.release_all()
+        hits0 = kernel.readcache.stats.hits
+        ino = None
+        for app in (app2, app3):
+            # stat warms the directory chain (real read acquisitions of
+            # the dirs — root ownership is exclusive, hence release_all
+            # between readers) and cache-attaches the file itself.
+            ino = app.stat("/f").ino
+            acq_dirs = kernel.stats.acquires
+            fd = app.open("/f")
+            assert app.pread(fd, 64, 0) == b"shared-data"
+            app.close(fd)
+            # The file never cost a kernel acquisition for this reader.
+            assert kernel.stats.acquires == acq_dirs
+            app.release_all()
+        assert kernel.readcache.stats.hits >= hits0 + 2
+        assert ino not in kernel.acquisitions
+
+
+class TestInvalidation:
+    def test_write_acquire_revokes_and_readers_see_new_data(self):
+        _dev, kernel, app1, app2 = two_apps()
+        app1.write_file("/f", b"version-one")
+        app1.release_all()
+        fd2 = app2.open("/f")
+        assert app2.pread(fd2, 64, 0) == b"version-one"
+        inv0 = kernel.readcache.stats.invalidations
+
+        # app1 takes the file back for write: the published entry must be
+        # invalidated before app1's mapping is granted.
+        app1.write_file("/f", b"version-two")
+        assert kernel.readcache.stats.invalidations > inv0
+        app1.release_all()  # republish at a new version
+
+        # app2's cached mapping was revoked; its next read revalidates,
+        # re-attaches and sees the new bytes.
+        assert app2.pread(fd2, 64, 0) == b"version-two"
+        app2.close(fd2)
+
+    def test_unlink_invalidates(self):
+        _dev, kernel, app1, app2 = two_apps()
+        app1.write_file("/f", b"doomed")
+        app1.release_all()
+        ino = app1.stat("/f").ino
+        assert kernel.readcache.published(ino) is not None
+        app1.unlink("/f")
+        app1.release_all()
+        assert kernel.readcache.published(ino) is None
+
+    def test_cached_reader_promotes_to_writer(self):
+        _dev, kernel, app1, app2 = two_apps()
+        app1.write_file("/f", b"aaaa")
+        app1.release_all()
+        fd2 = app2.open("/f")
+        assert app2.pread(fd2, 4, 0) == b"aaaa"  # cache-attached
+        app2.pwrite(fd2, b"bbbb", 0)  # promote: real write acquisition
+        app2.close(fd2)
+        app2.release_all()
+        # The ping-pong stays coherent: app1 re-reads app2's bytes.
+        assert app1.read_file("/f") == b"bbbb"
+
+
+class TestLocalRelease:
+    def test_cache_attached_release_skips_the_kernel(self):
+        _dev, kernel, app1, app2 = two_apps()
+        app1.write_file("/f", b"data")
+        app1.release_all()
+        fd2 = app2.open("/f")
+        assert app2.pread(fd2, 4, 0) == b"data"
+        app2.close(fd2)
+        ino = app2.stat("/f").ino
+        rel0 = kernel.stats.releases
+        app2.release_ino(ino)
+        assert kernel.stats.releases == rel0  # handed back locally
+        # And the read still works afterwards (re-attach via the cache).
+        assert app2.read_file("/f") == b"data"
+
+    def test_shutdown_returns_handouts(self):
+        _dev, kernel, app1, app2 = two_apps()
+        app1.write_file("/f", b"data")
+        app1.release_all()
+        ino = app1.stat("/f").ino
+        fd2 = app2.open("/f")
+        assert app2.pread(fd2, 4, 0) == b"data"
+        app2.shutdown()
+        # No mapping left handed out for the inode after app2 is gone.
+        assert ino not in kernel.readcache._handouts

@@ -204,3 +204,38 @@ def test_load_sidecar_accepts_wrapped_and_bare(tmp_path):
     bare.write_text(json.dumps(SNAP))
     assert regress.load_sidecar(str(wrapped)) == SNAP
     assert regress.load_sidecar(str(bare)) == SNAP
+
+
+def test_read_path_counters_export_with_session_labels():
+    """The zero-crossing read-path counters (`readcache.*`,
+    `readpath.crossings_avoided`) flow end-to-end: counted inside the
+    kernel/LibFS, tagged with the Session facade's ambient
+    ``{app_id, volume}`` labels, rendered by the Prometheus exporter."""
+    from repro import obs
+    from repro.api import Volume
+    from repro.core.config import ARCKFS_PLUS_ZC
+
+    obs.reset()
+    obs.enable()
+    try:
+        vol = Volume.create(16 * 1024 * 1024, inode_count=128,
+                            config=ARCKFS_PLUS_ZC, name="vexp")
+        s1 = vol.session("writer")
+        s2 = vol.session("reader")
+        s1.write_file("/f", b"payload" * 64)
+        s1.release_all()  # verified release publishes /f
+        fd = s2.open("/f")
+        assert s2.pread(fd, 7, 0) == b"payload"
+        s2.close(fd)
+        counters = obs.metrics.snapshot()["counters"]
+        text = to_prometheus(obs.metrics)
+    finally:
+        obs.disable()
+        obs.reset()
+    assert counters["readcache.publishes{app_id=writer,volume=vexp}"] == 1
+    assert counters["readcache.hits{app_id=reader,volume=vexp}"] >= 1
+    assert counters["readpath.crossings_avoided{app_id=reader,volume=vexp}"] >= 1
+    assert ('repro_readcache_publishes_total'
+            '{app_id="writer",volume="vexp"} 1') in text
+    assert ('repro_readpath_crossings_avoided_total'
+            '{app_id="reader",volume="vexp"}') in text

@@ -169,13 +169,13 @@ class TestFxMarkDataOps:
     def test_data_workloads_defined(self):
         from repro.workloads.fxmark import DATA_WORKLOADS
 
-        assert set(DATA_WORKLOADS) == {"DRBL", "DRBM", "DWOL"}
+        assert set(DATA_WORKLOADS) == {"DRBL", "DRBM", "DRBH", "DWOL"}
         for w in DATA_WORKLOADS.values():
             assert w.is_data
             ctx = w.op_ctx(0, 0, 4)
             assert ctx["op"] in ("read", "write") and ctx["size"] == 4096
 
-    @pytest.mark.parametrize("name", ["DRBL", "DRBM", "DWOL"])
+    @pytest.mark.parametrize("name", ["DRBL", "DRBM", "DRBH", "DWOL"])
     def test_functional(self, name):
         from repro.workloads.fxmark import DATA_WORKLOADS
 
