@@ -33,7 +33,7 @@ from __future__ import annotations
 import functools
 import itertools
 import threading
-from dataclasses import replace
+from dataclasses import dataclass, replace
 from typing import List, Optional, Union
 
 from repro import obs
@@ -61,6 +61,59 @@ def _tune(
     return replace(config, **overrides) if overrides else config
 
 
+@dataclass(frozen=True)
+class VolumeConfig:
+    """Everything that shapes a volume, in one typed value.
+
+    :meth:`Volume.create` and :meth:`Volume.mount` grew the same sprawl of
+    keyword knobs (config, policy, crash_tracking, the three verification
+    overrides, name, inode_count) in two slightly different subsets; this
+    dataclass is the single source of truth for all of them.  Pass it as
+    the ``config=`` argument — both constructors accept either a bare
+    :class:`ArckConfig` (the historical meaning) or a ``VolumeConfig``:
+
+        vc = VolumeConfig(crash_tracking=True, inode_count=256)
+        vol = Volume.create(8 << 20, config=vc)
+
+    The legacy per-knob keywords keep working as compat shims and, when
+    given, override the corresponding field (see the README deprecation
+    note); new code should build a ``VolumeConfig``.
+    """
+
+    #: The kernel/LibFS feature configuration (bug toggles, verification).
+    config: ArckConfig = ARCKFS_PLUS
+    #: Corruption-resolution policy; None = the controller's default.
+    policy: Optional[ResolutionPolicy] = None
+    #: Shadow inode table size (create only; mount reads the superblock).
+    inode_count: int = 1024
+    #: Enable the device's crash-state enumeration (shadows every store).
+    crash_tracking: bool = False
+    verify_workers: Optional[int] = None
+    verify_delegation: Optional[bool] = None
+    delegation_window: Optional[float] = None
+    #: Metrics label for the volume (auto ``vol<N>`` when omitted).
+    name: Optional[str] = None
+
+    @classmethod
+    def coerce(cls, config: Union["VolumeConfig", ArckConfig, None]) -> "VolumeConfig":
+        """Normalize the polymorphic ``config=`` argument."""
+        if config is None:
+            return cls()
+        if isinstance(config, VolumeConfig):
+            return config
+        return cls(config=config)
+
+    def override(self, **kwargs) -> "VolumeConfig":
+        """A copy with every non-None keyword applied (the compat shims)."""
+        live = {k: v for k, v in kwargs.items() if v is not None}
+        return replace(self, **live) if live else self
+
+    def tuned(self) -> ArckConfig:
+        """The effective :class:`ArckConfig`, verification knobs applied."""
+        return _tune(self.config, self.verify_workers,
+                     self.verify_delegation, self.delegation_window)
+
+
 class Session:
     """One application's handle on a volume.
 
@@ -77,6 +130,7 @@ class Session:
         self.fs = fs
         self._open = True
         self._close_lock = threading.Lock()
+        self._txm = None
         #: Dimensional identity threaded into every forwarded call while
         #: observability is on: metrics recorded under a session slice per
         #: tenant (``libfs.syscall.count{app_id=...,op=...,volume=...}``).
@@ -130,6 +184,34 @@ class Session:
             return
         self.shutdown()
 
+    def transaction(self):
+        """Begin a multi-file transaction; the sanctioned entry point.
+
+        Returns a :class:`repro.tx.Tx` handle usable either as a context
+        manager (exit commits, an exception aborts) or explicitly via
+        ``tx.commit()`` / ``tx.abort()``:
+
+            with session.transaction() as tx:
+                tx.mkdir("/batch")
+                tx.create("/batch/a")
+                tx.pwrite("/batch/a", b"payload", 0)
+
+        Operations buffer in the handle and validate against a staged view
+        of the namespace; commit writes a redo log into reserved PM pages,
+        seals it with a single 8-byte atomic store (the commit point), then
+        applies and checkpoints.  A crash anywhere leaves the volume
+        showing *all* of the transaction (sealed → replayed at next mount)
+        or *none* of it (unsealed → discarded).  Constructing
+        :class:`~repro.tx.manager.TxManager` anywhere else is banned by
+        ruff TID251 — this facade is the wiring layer.
+        """
+        from repro.tx.manager import TxManager
+
+        if self._txm is None:
+            self._txm = TxManager(self.fs)
+        with obs.scoped_context(**self.labels):
+            return self._txm.begin()
+
     def shutdown(self) -> None:
         """Tear the application down; idempotent and race-safe.
 
@@ -180,11 +262,11 @@ class Volume:
         cls,
         size: int = 64 * 1024 * 1024,
         *,
-        inode_count: int = 1024,
-        config: ArckConfig = ARCKFS_PLUS,
-        policy: Optional[ResolutionPolicy] = None,
+        config: Union[VolumeConfig, ArckConfig, None] = None,
         device: Optional[PMDevice] = None,
-        crash_tracking: bool = False,
+        inode_count: Optional[int] = None,
+        policy: Optional[ResolutionPolicy] = None,
+        crash_tracking: Optional[bool] = None,
         verify_workers: Optional[int] = None,
         verify_delegation: Optional[bool] = None,
         delegation_window: Optional[float] = None,
@@ -192,29 +274,34 @@ class Volume:
     ) -> "Volume":
         """mkfs + mount a fresh volume of ``size`` bytes.
 
-        ``verify_workers`` / ``verify_delegation`` / ``delegation_window``
-        override the corresponding :class:`ArckConfig` fields — the
-        pipelined-verification knobs — without the caller re-deriving a
-        config.  ``crash_tracking=True`` enables the device's crash-state
-        enumeration (needed by the §4.2 bug demos, off by default because
-        it shadows every store).  ``name`` is the volume's metrics label
-        (auto ``vol<N>`` when omitted).
+        ``config`` takes a :class:`VolumeConfig` (the full set of knobs in
+        one value) or a bare :class:`ArckConfig` (the historical meaning).
+        The remaining keywords are compat shims: each one, when given,
+        overrides the corresponding ``VolumeConfig`` field.
+        ``crash_tracking=True`` enables the device's crash-state
+        enumeration (needed by the §4.2 bug demos and the transaction
+        crash tests, off by default because it shadows every store).
         """
-        config = _tune(config, verify_workers, verify_delegation, delegation_window)
+        opts = VolumeConfig.coerce(config).override(
+            inode_count=inode_count, policy=policy,
+            crash_tracking=crash_tracking, verify_workers=verify_workers,
+            verify_delegation=verify_delegation,
+            delegation_window=delegation_window, name=name)
         if device is None:
-            device = PMDevice(size, crash_tracking=crash_tracking)
+            device = PMDevice(size, crash_tracking=opts.crash_tracking)
         kernel = KernelController.fresh(
-            device, inode_count=inode_count, config=config, policy=policy)
-        return cls(device, kernel, name=name)
+            device, inode_count=opts.inode_count, config=opts.tuned(),
+            policy=opts.policy)
+        return cls(device, kernel, name=opts.name)
 
     @classmethod
     def mount(
         cls,
         source: Union[PMDevice, bytes, bytearray],
         *,
-        config: ArckConfig = ARCKFS_PLUS,
+        config: Union[VolumeConfig, ArckConfig, None] = None,
         policy: Optional[ResolutionPolicy] = None,
-        crash_tracking: bool = False,
+        crash_tracking: Optional[bool] = None,
         verify_workers: Optional[int] = None,
         verify_delegation: Optional[bool] = None,
         delegation_window: Optional[float] = None,
@@ -222,17 +309,26 @@ class Volume:
     ) -> "Volume":
         """Mount an existing device, or a raw image (``bytes``) of one.
 
-        Runs full crash recovery; the resulting
+        Accepts the same ``config`` polymorphism (and compat shims) as
+        :meth:`create`; ``inode_count`` has no mount-side meaning — the
+        superblock is authoritative.  Runs full crash recovery, including
+        pending-transaction replay; the resulting
         :class:`~repro.kernel.controller.RecoveryReport` is available as
         :attr:`recovery`.
         """
-        config = _tune(config, verify_workers, verify_delegation, delegation_window)
+        opts = VolumeConfig.coerce(config).override(
+            policy=policy, crash_tracking=crash_tracking,
+            verify_workers=verify_workers,
+            verify_delegation=verify_delegation,
+            delegation_window=delegation_window, name=name)
         if isinstance(source, (bytes, bytearray)):
-            device = PMDevice.from_image(bytes(source), crash_tracking=crash_tracking)
+            device = PMDevice.from_image(
+                bytes(source), crash_tracking=opts.crash_tracking)
         else:
             device = source
-        kernel = KernelController.mount(device, config=config, policy=policy)
-        return cls(device, kernel, name=name)
+        kernel = KernelController.mount(
+            device, config=opts.tuned(), policy=opts.policy)
+        return cls(device, kernel, name=opts.name)
 
     # ------------------------------------------------------------------ #
     # Sessions

@@ -39,6 +39,7 @@ def mkfs(device: PMDevice, inode_count: int = 1024, root_uid: int = 0) -> Geomet
         bitmap_off=geom.bitmap_off,
         data_off=geom.data_off,
         root_ino=ROOT_INO,
+        tx_log_head=0,
     )
 
     # Zero the inode table and the bitmap region.

@@ -247,6 +247,41 @@ class SessionGone(ServerError):
 
 
 # --------------------------------------------------------------------------- #
+# Transaction errors (repro.tx)
+# --------------------------------------------------------------------------- #
+
+
+class TxError(ReproError):
+    """Base of the transaction error family (``repro.tx``).
+
+    Raised for misuse of a transaction handle (operating on a committed or
+    aborted transaction); the subclasses carry commit-outcome semantics.
+    """
+
+    CODE = 220
+    retryable = False
+
+
+class TxAborted(TxError):
+    """The commit failed mid-apply and the transaction was rolled back:
+    the volume shows *none* of its effects (staged namespace ops undone,
+    dirtied files restored from their kernel snapshots).  Retryable — the
+    volume is exactly as if the transaction never ran."""
+
+    CODE = 221
+    retryable = True
+
+
+class TxCommitPending(TxError):
+    """The commit failed mid-apply after an irreversible op (an applied
+    ``unlink``); the sealed redo log was left pending and the next mount
+    replays it to completion.  The volume temporarily shows a prefix of
+    the transaction.  Not retryable in-process: remount to roll forward."""
+
+    CODE = 222
+
+
+# --------------------------------------------------------------------------- #
 # CLI exit-code mapping
 # --------------------------------------------------------------------------- #
 
@@ -261,6 +296,7 @@ EXIT_LEASE = 5          # LeaseExpired
 EXIT_NO_SPACE = 6       # NoSpace (ENOSPC)
 EXIT_OTHER = 7          # any other ReproError (the documented fallback)
 EXIT_SERVER = 8         # ServerError family (Overloaded, TenantLimit, ...)
+EXIT_TX = 9             # TxError family (TxAborted, TxCommitPending, ...)
 
 #: The exit-status table, walked in order; first match wins.  Subclassing
 #: an entry inherits its status (``Overloaded`` exits like ``ServerError``)
@@ -273,6 +309,7 @@ _EXIT_TABLE = (
     (CorruptionDetected, EXIT_CORRUPTION),
     (LeaseExpired, EXIT_LEASE),
     (ServerError, EXIT_SERVER),
+    (TxError, EXIT_TX),
 )
 
 
@@ -291,6 +328,7 @@ def exit_code_for(exc: BaseException) -> int:
     ``VerifyFailure`` / ``CorruptionDetected``  4
     ``LeaseExpired``                            5
     ``ServerError`` family                      8
+    ``TxError`` family                          9
     anything else                               7
     ========================================    ====
 

@@ -41,7 +41,9 @@ from repro.fsck.findings import (  # noqa: F401  (re-exported API)
     F_SIZE_MISMATCH,
     F_SUPERBLOCK,
     F_TORN_DENTRY,
+    F_TX_TORN,
     TORN_CLASSES,
+    TX_CLASSES,
     Finding,
     FsckReport,
 )

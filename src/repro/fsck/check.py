@@ -35,6 +35,7 @@ from repro.fsck.findings import (
     F_SIZE_MISMATCH,
     F_SUPERBLOCK,
     F_TORN_DENTRY,
+    F_TX_TORN,
     Finding,
 )
 from repro.fsck.scan import InodeScan
@@ -325,6 +326,37 @@ def check_graph(
                     meta={"kind": "data", "loser": ino, "slot": slot,
                           "holder": holder[0]},
                 ))
+
+    # -- pending transaction log ------------------------------------------- #
+    # A sealed-but-uncheckpointed repro.tx redo log.  Its chain pages are
+    # legitimately allocated (claim them so they don't read as leaks), but
+    # until replay runs the volume may expose a prefix of the transaction —
+    # a non-advisory, repairable finding.  A head that fails validation is
+    # the discard case: repair clears the seal and the pages surface as
+    # ordinary leaks for the existing leak pass.
+    from repro.tx.log import parse_log, read_head
+
+    tx_head = read_head(device)
+    if tx_head:
+        txlog, tx_pages = parse_log(device, geom)
+        for page_no in tx_pages:
+            claims.setdefault(page_no, (-1, "txlog"))
+        if txlog is not None:
+            findings.append(Finding(
+                F_TX_TORN,
+                f"sealed transaction log (txid {txlog.txid}, "
+                f"{len(txlog.records)} op(s)) pending replay",
+                page=tx_head,
+                meta={"txid": txlog.txid, "ops": len(txlog.records),
+                      "pages": list(tx_pages), "valid": True},
+            ))
+        else:
+            findings.append(Finding(
+                F_TX_TORN,
+                "transaction log head set but the chain fails validation",
+                page=tx_head,
+                meta={"pages": list(tx_pages), "valid": False},
+            ))
 
     bitmap_bytes = (geom.page_count + 7) // 8
     bitmap = device.load(geom.bitmap_off, bitmap_bytes)

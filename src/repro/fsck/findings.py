@@ -29,6 +29,10 @@ class                     produced by
 ``nlink-mismatch``        link count disagreeing with the reconstructed tree
 ``aux-mismatch``          §4.4/§4.5: DRAM auxiliary state diverging from PM
                           (optional cross-check; DRAM-only, not repairable)
+``tx-torn``               a sealed ``repro.tx`` redo log left pending by a
+                          crash between seal and checkpoint: the volume may
+                          show a *prefix* of the transaction until the log
+                          is replayed (repair = replay; corrupt = discard)
 ========================  ====================================================
 """
 
@@ -53,6 +57,7 @@ F_BAD_PAGE_KIND = "bad-page-kind"
 F_SIZE_MISMATCH = "size-mismatch"
 F_NLINK_MISMATCH = "nlink-mismatch"
 F_AUX_MISMATCH = "aux-mismatch"
+F_TX_TORN = "tx-torn"
 
 ALL_CLASSES = (
     F_SUPERBLOCK,
@@ -70,6 +75,7 @@ ALL_CLASSES = (
     F_SIZE_MISMATCH,
     F_NLINK_MISMATCH,
     F_AUX_MISMATCH,
+    F_TX_TORN,
 )
 
 #: The classes only an un-fenced commit-marker protocol (§4.2) can reach on
@@ -78,6 +84,13 @@ ALL_CLASSES = (
 #: these — orphan inodes / leaked pages are reachable (and repairable) crash
 #: states even under the ArckFS+ fence.
 TORN_CLASSES = frozenset({F_TORN_DENTRY, F_DANGLING_DENTRY})
+
+#: The classes a crash inside a ``repro.tx`` commit can leave behind.  A
+#: sealed-but-unapplied redo log is *pending*, not corrupt — mount replays
+#: it — but an offline checker must still surface it: until replay runs the
+#: volume may expose a prefix of the transaction, violating all-or-nothing.
+#: Crash-enumeration tests assert no member of this set survives recovery.
+TX_CLASSES = frozenset({F_TX_TORN})
 
 
 @dataclass

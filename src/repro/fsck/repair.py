@@ -37,6 +37,7 @@ from repro.fsck.findings import (
     F_SIZE_MISMATCH,
     F_SUPERBLOCK,
     F_TORN_DENTRY,
+    F_TX_TORN,
     Finding,
 )
 from repro.pm.allocator import PageAllocator
@@ -52,10 +53,13 @@ from repro.pm.layout import (
     PAGEHDR_SIZE,
 )
 
-#: Order repairs are applied in within one pass: structural fixes first
+#: Order repairs are applied in within one pass: the pending-transaction
+#: replay first (it rewrites volume state wholesale, so the pass stops
+#: right after it — see :meth:`Repairer.apply`), then structural fixes
 #: (so the allocator the quarantine step builds sees a sane bitmap), then
 #: dentry tombstones, then record fields, then reconnection.
 _REPAIR_ORDER = (
+    F_TX_TORN,
     F_SUPERBLOCK,
     F_CHAIN_CORRUPT,
     F_BAD_PAGE_KIND,
@@ -101,6 +105,11 @@ class Repairer:
                 continue
             if handler(self, f):
                 applied[f.cls] = applied.get(f.cls, 0) + 1
+                if f.cls == F_TX_TORN:
+                    # Replaying the pending transaction rewrote volume
+                    # state wholesale; every other finding from this pass
+                    # is stale.  Stop here — the runner re-checks.
+                    break
         return applied
 
     # ------------------------------------------------------------------ #
@@ -199,6 +208,29 @@ class Repairer:
     # Per-class handlers
     # ------------------------------------------------------------------ #
 
+    def _repair_tx_torn(self, f: Finding) -> bool:
+        from repro.tx.log import clear_seal
+
+        if not f.meta.get("valid"):
+            # Discard: the seal references an unparseable chain.  Clearing
+            # the head turns its pages into plain leaks, which the leak
+            # pass reclaims on the next check/repair round.
+            clear_seal(self.device)
+            return True
+        # Replay through mount-time recovery — the one sanctioned replayer
+        # — which applies every record idempotently and checkpoints the
+        # log.  If the volume is too damaged to mount, degrade to discard
+        # so repair still converges (the transaction's effects are lost,
+        # but all-or-nothing is preserved: "none").
+        from repro.errors import ReproError, SimulatedFault
+        from repro.kernel.controller import KernelController
+
+        try:
+            KernelController.mount(self.device)
+        except (ReproError, SimulatedFault, ValueError):
+            clear_seal(self.device)
+        return True
+
     def _repair_superblock(self, f: Finding) -> bool:
         if f.meta.get("kind") != "root":
             return False  # an unformatted device is beyond repair
@@ -281,6 +313,7 @@ class Repairer:
         return True
 
     _HANDLERS = {
+        F_TX_TORN: _repair_tx_torn,
         F_SUPERBLOCK: _repair_superblock,
         F_CHAIN_CORRUPT: _truncate_chain,
         F_BAD_PAGE_KIND: _repair_bad_kind,

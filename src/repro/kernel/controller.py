@@ -88,6 +88,10 @@ class RecoveryReport:
     pages_reclaimed: int = 0
     #: inode slots whose records were live but unreachable from the root.
     orphan_inodes: List[int] = field(default_factory=list)
+    #: redo records replayed from a sealed transaction log (``repro.tx``).
+    tx_replayed: int = 0
+    #: sealed-but-corrupt transaction logs discarded.
+    tx_discarded: int = 0
 
     @property
     def clean(self) -> bool:
@@ -142,6 +146,9 @@ class KernelController:
         #: which app last owned each inode (auxiliary-state staleness hint).
         self._last_owner: Dict[int, str] = {}
         self.last_recovery: Optional[RecoveryReport] = None
+        #: serializes transaction commits volume-wide: the superblock holds
+        #: exactly one pending redo log (``repro.tx``).
+        self.tx_commit_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -169,7 +176,27 @@ class KernelController:
         """Mount an existing (possibly crash-recovered) device."""
         kc = cls(device, config=config, policy=policy)
         kc.last_recovery = kc._recover()
+        kc._recover_tx(kc.last_recovery)
         return kc
+
+    def _recover_tx(self, report: RecoveryReport) -> None:
+        """Replay (or discard) a pending transaction log after recovery.
+
+        A crash between a transaction's seal and its checkpoint leaves
+        ``tx_log_head`` published; replaying the sealed log here makes the
+        whole transaction visible before the first application attaches —
+        the "all" half of the tx crash-atomicity contract.  Imported
+        lazily: ``repro.tx`` sits above the kernel layer.
+        """
+        from repro.tx.log import read_head
+
+        if read_head(self.device) == 0:
+            return
+        from repro.tx.recovery import recover
+
+        outcome = recover(self)
+        report.tx_replayed = outcome.replayed
+        report.tx_discarded = outcome.discarded
 
     def _recover(self) -> RecoveryReport:
         """Rebuild shadow table, page ownership, allocator and slot gens."""
@@ -263,6 +290,15 @@ class KernelController:
             for page_no in pages:
                 self.page_owner[page_no] = ino
                 reachable.add(page_no)
+        # A sealed transaction log's chain is reachable state: its pages
+        # must survive the rebuild so mount-time replay can read them.  An
+        # unsealed chain (crash before the seal) stays invisible here and
+        # is reclaimed like any other leak.
+        from repro.tx.log import chain_pages, read_head
+
+        tx_head = read_head(self.device)
+        if tx_head:
+            reachable.update(chain_pages(self.device, self.geom, tx_head))
         report.pages_reclaimed = self.alloc.rebuild(reachable)
 
         # Pass 4: slot generations and the free-inode pool.
@@ -516,6 +552,47 @@ class KernelController:
                 if (sh is not None and not sh.is_dir
                         and not sh.inaccessible and not sh.deleted_pending):
                     self.readcache.publish(ino)
+
+    def rollback_to_snapshot(self, app_id: str, ino: int) -> bool:
+        """Restore an owned inode to its acquisition snapshot (tx abort).
+
+        The snapshot is the one the acquisition carries: for a file
+        re-acquired under a live read-delegation lease that is the *parked
+        pre-dirty* snapshot the deferred verification kept — rolling back
+        a transaction therefore restores exactly the state the delegation
+        contract guarantees.  Pages the dirtying writes allocated beyond
+        the snapshot are freed (they would otherwise leak until the next
+        mount).  Returns False when no snapshot exists (a pending inode —
+        rollback of creations happens by unlinking them instead).
+        """
+        obs.kernel_crossing("corruption_resolution")
+        with self._lock:
+            acq = self._require_acquisition(app_id, ino)
+            if acq.snapshot is None:
+                return False
+            # Pages referenced by the dirty state but not the snapshot
+            # were allocated after it: free them once restored.
+            rec = self.core.read_inode(ino)
+            current_pages: Set[int] = set()
+            if rec.valid:
+                try:
+                    current_pages = set(
+                        self.core.dir_pages(rec)
+                        if rec.is_dir
+                        else self.core.index_pages(rec) + self.core.file_pages(rec)
+                    )
+                except ValueError:
+                    current_pages = set()
+            RollbackPolicy().resolve(self, ino, acq.snapshot, "transaction abort")
+            for page_no in current_pages - set(acq.snapshot.pages):
+                if self.alloc.is_allocated(page_no):
+                    self.alloc.free(page_no)
+                self.page_owner.pop(page_no, None)
+            self.readcache.invalidate(ino)
+            # The restored state is the last verified one; re-arm the
+            # acquisition's rollback point at it.
+            acq.snapshot = self._snapshot(ino)
+            return True
 
     def revoke(self, ino: int) -> None:
         """Involuntary release: the kernel forcefully takes the inode back.

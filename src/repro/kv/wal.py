@@ -19,9 +19,37 @@ from typing import Iterator, Tuple
 
 from repro.basefs.base import FileSystem
 
-_HDR = struct.Struct("<IQBII")
+#: Record header: ``crc u32 | seq u64 | op u8 | klen u32 | vlen u32``.
+#: Shared framing — the transaction redo log (``repro.tx``) reuses it for
+#: its on-PM records, so one CRC/parse discipline covers both logs.
+RECORD_HDR = struct.Struct("<IQBII")
+_HDR = RECORD_HDR
 OP_PUT = 1
 OP_DELETE = 2
+
+
+def frame_record(seq: int, op: int, key: bytes, value: bytes) -> bytes:
+    """Serialize one record; the leading CRC covers everything after it."""
+    body = _HDR.pack(0, seq, op, len(key), len(value))[4:] + key + value
+    return struct.pack("<I", zlib.crc32(body)) + body
+
+
+def parse_record(buf: bytes, off: int):
+    """Parse the record at ``off`` in ``buf``.
+
+    Returns ``(seq, op, key, value, next_off)``, or ``None`` if the record
+    is truncated or its CRC fails (the torn tail of a crashed append).
+    """
+    if off + _HDR.size > len(buf):
+        return None
+    crc, seq, op, klen, vlen = _HDR.unpack_from(buf, off)
+    body_len = _HDR.size - 4 + klen + vlen
+    body = buf[off + 4 : off + 4 + body_len]
+    if len(body) < body_len or zlib.crc32(body) != crc:
+        return None
+    key = body[_HDR.size - 4 : _HDR.size - 4 + klen]
+    value = body[_HDR.size - 4 + klen :]
+    return seq, op, key, value, off + 4 + body_len
 
 
 class WALWriter:
@@ -33,9 +61,7 @@ class WALWriter:
         self._offset = fs.stat(path).size
 
     def append(self, seq: int, op: int, key: bytes, value: bytes) -> None:
-        body = _HDR.pack(0, seq, op, len(key), len(value))[4:] + key + value
-        crc = zlib.crc32(body)
-        record = struct.pack("<I", crc) + body
+        record = frame_record(seq, op, key, value)
         self.fs.pwrite(self._fd, record, self._offset)
         self._offset += len(record)
         if self.sync:

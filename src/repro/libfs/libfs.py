@@ -960,6 +960,22 @@ class LibFS:
             self._invalidate_aux(ino)
             raise
 
+    @traced_syscall("rollback_ino")
+    def rollback_ino(self, ino: int) -> bool:
+        """Restore an owned inode to its acquisition snapshot (tx abort).
+
+        Attaches for write if needed, asks the kernel to apply the PR 4
+        rollback path (the acquisition snapshot — the parked pre-dirty
+        one when the file was re-acquired under a delegation lease), and
+        drops the retained auxiliary state so the next access rebuilds it
+        from the restored core state.
+        """
+        self._attach(ino, write=True)
+        try:
+            return self.kernel.rollback_to_snapshot(self.app_id, ino)
+        finally:
+            self._invalidate_aux(ino)
+
     @traced_syscall("release_path")
     def release_path(self, path: str) -> None:
         self.release_ino(self._path_ino(path))

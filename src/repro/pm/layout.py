@@ -41,7 +41,13 @@ ITYPE_DIR = 2
 # Superblock
 # --------------------------------------------------------------------------- #
 
-_SB = struct.Struct("<QQIIQQQQ")  # magic, size, block, ninodes, itable, bitmap, data, root
+# magic, size, block, ninodes, itable, bitmap, data, root, tx_log_head
+_SB = struct.Struct("<QQIIQQQQQ")
+
+#: Offset of the ``tx_log_head`` field — 8-byte aligned and inside the
+#: superblock's first cache line, so a single ``atomic_store`` publishes a
+#: sealed transaction log (the one-pointer commit point of ``repro.tx``).
+SB_TX_HEAD_OFF = struct.calcsize("<QQIIQQQQ")
 
 
 @dataclass
@@ -54,6 +60,9 @@ class Superblock:
     bitmap_off: int
     data_off: int
     root_ino: int
+    #: Head page of a sealed (durable, unapplied) transaction redo log;
+    #: 0 means no transaction is pending.
+    tx_log_head: int = 0
 
     SIZE = 64
 
@@ -67,6 +76,7 @@ class Superblock:
             self.bitmap_off,
             self.data_off,
             self.root_ino,
+            self.tx_log_head,
         )
         return raw.ljust(self.SIZE, b"\0")
 
@@ -216,6 +226,7 @@ PAGEHDR_SIZE = 16
 PAGE_PAYLOAD = PAGE_SIZE - PAGEHDR_SIZE
 PAGE_KIND_DIRLOG = 1
 PAGE_KIND_INDEX = 2
+PAGE_KIND_TXLOG = 3
 
 #: u64 slots available in a file page-index page.
 INDEX_SLOTS = PAGE_PAYLOAD // 8

@@ -16,7 +16,7 @@ import dataclasses
 from typing import Callable, Dict
 
 from repro.api import Session
-from repro.errors import InvalidArgument
+from repro.errors import InvalidArgument, TxError
 from repro.server.protocol import pack_bytes, unpack_bytes
 
 
@@ -130,6 +130,74 @@ def op_release(fs: Session, p: Dict):
     return {}
 
 
+# --------------------------------------------------------------------------- #
+# Transactions: one pending Tx per wire session
+# --------------------------------------------------------------------------- #
+#
+# The handle lives on the Session object between requests (a tenant's ops
+# for one session run on one worker, so there is no request-level race).
+# Error typing rides the existing wire contract: ``TxAborted`` serializes
+# with ``retryable=True`` (the volume is as if the tx never ran — rebuild
+# and re-issue), ``TxCommitPending`` with ``retryable=False`` (the volume
+# must remount to roll forward).
+
+_TX_ATTR = "_wire_tx"
+
+
+def _pending_tx(fs: Session):
+    tx = fs.__dict__.get(_TX_ATTR)
+    if tx is None:
+        raise TxError("no transaction open on this session")
+    return tx
+
+
+def op_tx_begin(fs: Session, p: Dict):
+    if fs.__dict__.get(_TX_ATTR) is not None:
+        raise TxError("a transaction is already open on this session")
+    tx = fs.transaction()
+    fs.__dict__[_TX_ATTR] = tx
+    return {"txid": tx.txid}
+
+
+def op_tx_op(fs: Session, p: Dict):
+    tx = _pending_tx(fs)
+    op = _need(p, "op")
+    if op == "create":
+        tx.create(_path(p), mode=p.get("mode", 0o664))
+    elif op == "mkdir":
+        tx.mkdir(_path(p), mode=p.get("mode", 0o775))
+    elif op == "pwrite":
+        tx.pwrite(_path(p), unpack_bytes(_need(p, "data")),
+                  _int(p, "offset"))
+    elif op == "write_file":
+        tx.write_file(_path(p), unpack_bytes(_need(p, "data")))
+    elif op == "truncate":
+        tx.truncate(_path(p), _int(p, "size"))
+    elif op == "rename":
+        tx.rename(_path(p, "old"), _path(p, "new"))
+    elif op == "unlink":
+        tx.unlink(_path(p))
+    else:
+        raise InvalidArgument(f"unknown transaction op {op!r}")
+    return {"ops": len(tx.ops)}
+
+
+def op_tx_commit(fs: Session, p: Dict):
+    # The handle is single-shot: whatever commit does (success, rollback,
+    # roll-forward-pending) it leaves the open state, so drop it first —
+    # a client retrying after TxAborted begins a fresh transaction.
+    tx = _pending_tx(fs)
+    fs.__dict__[_TX_ATTR] = None
+    return tx.commit()
+
+
+def op_tx_abort(fs: Session, p: Dict):
+    tx = _pending_tx(fs)
+    fs.__dict__[_TX_ATTR] = None
+    tx.abort()
+    return {}
+
+
 #: method name → adapter.  Every entry runs inside a tenant worker against
 #: an admitted, lease-refreshed session.
 SESSION_OPS: Dict[str, Callable[[Session, Dict], Dict]] = {
@@ -151,4 +219,8 @@ SESSION_OPS: Dict[str, Callable[[Session, Dict], Dict]] = {
     "truncate": op_truncate,
     "fsync": op_fsync,
     "release": op_release,
+    "tx_begin": op_tx_begin,
+    "tx_op": op_tx_op,
+    "tx_commit": op_tx_commit,
+    "tx_abort": op_tx_abort,
 }

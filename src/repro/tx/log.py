@@ -1,0 +1,213 @@
+"""On-PM redo-log format for multi-file transactions.
+
+A transaction's commit record is a chain of ``PAGE_KIND_TXLOG`` pages
+holding a log header followed by one redo record per buffered operation.
+Records reuse the KV WAL's framing (``crc u32 | seq u64 | op u8 | klen u32
+| vlen u32 | key | value``, CRC covering everything after itself) so both
+logs share one parse/CRC discipline; the header adds a whole-payload CRC
+and the record count, making "sealed but torn" distinguishable from
+"sealed and intact".
+
+The commit point is a single 8-byte ``atomic_store`` of the chain's head
+page number into the superblock's ``tx_log_head`` field:
+
+1. allocate pages (bitmap bits persist first — a crash here leaks pages,
+   which mount-time ``rebuild`` reclaims);
+2. stream header + records into the chain, ``clwb`` everything, one
+   ``sfence`` — the payload is durable but unreferenced;
+3. *seal*: ``atomic_store`` the head into ``tx_log_head``, ``clwb``,
+   ``sfence``.  Before this fence the volume shows none of the
+   transaction; after it, recovery replays all of it.
+
+Checkpoint (after apply) clears the head the same way and frees the
+pages.  This module is dependency-light on purpose — device + layout +
+the WAL framing only — so ``repro.fsck`` and the kernel's recovery can
+parse logs without importing the transaction manager above them.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.kv.wal import frame_record, parse_record
+from repro.pm.allocator import PageAllocator
+from repro.pm.device import PMDevice
+from repro.pm.layout import (
+    PAGE_KIND_TXLOG,
+    PAGE_PAYLOAD,
+    PAGEHDR_SIZE,
+    SB_TX_HEAD_OFF,
+    Geometry,
+    PageHeader,
+)
+
+#: Magic stamped at the start of every log payload ("REPROTXL").
+TX_MAGIC = 0x5245_5052_4F54_584C
+
+#: magic u64 | txid u64 | nrecords u32 | payload_crc u32
+_LOGHDR = struct.Struct("<QQII")
+
+#: Redo-record opcodes.  ``seq`` in the WAL framing carries the numeric
+#: argument (mode / offset / size); ``key`` the target path; ``value`` the
+#: data payload (pwrite) or the destination path (rename).
+TX_CREATE = 1
+TX_MKDIR = 2
+TX_PWRITE = 3
+TX_RENAME = 4
+TX_UNLINK = 5
+TX_TRUNCATE = 6
+
+OP_NAMES = {
+    TX_CREATE: "create",
+    TX_MKDIR: "mkdir",
+    TX_PWRITE: "pwrite",
+    TX_RENAME: "rename",
+    TX_UNLINK: "unlink",
+    TX_TRUNCATE: "truncate",
+}
+
+#: Safety bound when walking a (possibly corrupt) log chain.
+MAX_LOG_PAGES = 4096
+
+
+@dataclass(frozen=True)
+class TxRecord:
+    """One redo record: ``op`` applied to ``path`` with ``arg``/``data``."""
+
+    op: int
+    path: str
+    arg: int = 0
+    data: bytes = b""
+
+    def frame(self) -> bytes:
+        return frame_record(self.arg, self.op, self.path.encode(), self.data)
+
+
+@dataclass
+class TxLog:
+    """A parsed, CRC-intact transaction log."""
+
+    txid: int
+    records: List[TxRecord]
+    pages: List[int]
+
+
+def build_payload(txid: int, records: List[TxRecord]) -> bytes:
+    """Header + framed records, ready to stream into the page chain."""
+    body = b"".join(r.frame() for r in records)
+    hdr = _LOGHDR.pack(TX_MAGIC, txid, len(records), zlib.crc32(body))
+    return hdr + body
+
+
+def write_log(
+    device: PMDevice,
+    geom: Geometry,
+    alloc: PageAllocator,
+    payload: bytes,
+) -> List[int]:
+    """Stream ``payload`` into a fresh TXLOG page chain; returns the pages.
+
+    Everything is written + ``clwb``-ed under a *single* trailing fence; the
+    chain stays unreferenced (and therefore invisible to recovery) until
+    :func:`seal` publishes its head.
+    """
+    npages = max(1, (len(payload) + PAGE_PAYLOAD - 1) // PAGE_PAYLOAD)
+    pages = alloc.alloc_many(npages, zero=False)
+    for i, page_no in enumerate(pages):
+        chunk = payload[i * PAGE_PAYLOAD : (i + 1) * PAGE_PAYLOAD]
+        hdr = PageHeader(
+            next_page=pages[i + 1] if i + 1 < npages else 0,
+            used=len(chunk),
+            kind=PAGE_KIND_TXLOG,
+        )
+        off = geom.page_off(page_no)
+        device.store(off, hdr.pack())
+        device.clwb(off, PAGEHDR_SIZE)
+        if chunk:
+            device.store(off + PAGEHDR_SIZE, chunk)
+            device.clwb(off + PAGEHDR_SIZE, len(chunk))
+    device.sfence()
+    return pages
+
+
+def read_head(device: PMDevice) -> int:
+    """The pending log's head page number (0 = no transaction pending)."""
+    return struct.unpack("<Q", device.load(SB_TX_HEAD_OFF, 8))[0]
+
+
+def seal(device: PMDevice, head_page: int) -> None:
+    """Publish the chain: the transaction's single atomic commit point."""
+    device.atomic_store(SB_TX_HEAD_OFF, struct.pack("<Q", head_page))
+    device.clwb(SB_TX_HEAD_OFF, 8)
+    device.sfence()
+
+
+def clear_seal(device: PMDevice) -> None:
+    """Retire the pending log (checkpoint complete or log discarded)."""
+    seal(device, 0)
+
+
+def chain_pages(device: PMDevice, geom: Geometry, head: int) -> List[int]:
+    """Walk a TXLOG chain defensively; stops at any bad link or cycle.
+
+    Never raises — fsck and recovery both need the reachable prefix of a
+    possibly-corrupt chain (to claim its pages / bound the damage).
+    """
+    pages: List[int] = []
+    seen = set()
+    page_no = head
+    while page_no and len(pages) < MAX_LOG_PAGES:
+        if page_no in seen or not 1 <= page_no <= geom.page_count:
+            break
+        seen.add(page_no)
+        pages.append(page_no)
+        hdr = PageHeader.unpack(device.load(geom.page_off(page_no), PAGEHDR_SIZE))
+        if hdr.kind != PAGE_KIND_TXLOG:
+            break
+        page_no = hdr.next_page
+    return pages
+
+
+def parse_log(device: PMDevice, geom: Geometry) -> Tuple[Optional[TxLog], List[int]]:
+    """Parse the pending log, if any.
+
+    Returns ``(log, pages)``: ``log`` is None when no log is pending *or*
+    the pending log fails validation (bad chain, magic, CRC, or record
+    count); ``pages`` is the reachable chain either way so the caller can
+    reclaim a corrupt log's pages.
+    """
+    head = read_head(device)
+    if head == 0:
+        return None, []
+    pages = chain_pages(device, geom, head)
+    if not pages:
+        return None, pages
+    blob = bytearray()
+    for page_no in pages:
+        hdr = PageHeader.unpack(device.load(geom.page_off(page_no), PAGEHDR_SIZE))
+        if hdr.kind != PAGE_KIND_TXLOG or hdr.used > PAGE_PAYLOAD:
+            return None, pages
+        blob += device.load(geom.page_off(page_no) + PAGEHDR_SIZE, hdr.used)
+    if len(blob) < _LOGHDR.size:
+        return None, pages
+    magic, txid, nrecords, crc = _LOGHDR.unpack_from(bytes(blob[: _LOGHDR.size]))
+    body = bytes(blob[_LOGHDR.size :])
+    if magic != TX_MAGIC or zlib.crc32(body) != crc:
+        return None, pages
+    records: List[TxRecord] = []
+    off = 0
+    while off < len(body):
+        parsed = parse_record(body, off)
+        if parsed is None:
+            return None, pages
+        arg, op, key, value, off = parsed
+        if op not in OP_NAMES:
+            return None, pages
+        records.append(TxRecord(op=op, path=key.decode("utf-8", "replace"),
+                                arg=arg, data=value))
+    if len(records) != nrecords:
+        return None, pages
+    return TxLog(txid=txid, records=records, pages=pages), pages

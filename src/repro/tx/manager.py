@@ -1,0 +1,397 @@
+"""The transaction manager: buffered multi-file ops, redo-logged commit.
+
+``TxManager`` belongs to one session (LibFS); ``TxManager.begin()`` hands
+out :class:`Tx` handles.  Application code never constructs either — the
+sanctioned entry point is ``Session.transaction()`` on the ``repro.api``
+facade (ruff TID251 enforces this, exactly like the ``KernelController``
+ban).
+
+A :class:`Tx` buffers operations in DRAM and validates each against a
+staged namespace overlay (tx-local effects layered over the live
+filesystem), so conflicts surface at ``tx.create(...)`` time, not at
+commit.  Nothing touches PM until :meth:`Tx.commit`:
+
+1. **log** — serialize the ops into a redo log (KV-WAL record framing)
+   and stream it into a fresh ``PAGE_KIND_TXLOG`` chain, one fence;
+2. **seal** — publish the chain head into the superblock's
+   ``tx_log_head`` with a single 8-byte atomic store + fence.  This is
+   the commit point: a crash before it shows *none* of the transaction
+   (the chain's pages merely leak, and mount reclaims them), a crash
+   after it replays *all* of it;
+3. **apply** — run the ops through the owning LibFS (each individually
+   crash-consistent; replay converges over any partial prefix);
+4. **checkpoint** — clear ``tx_log_head`` and free the log pages.
+
+Commits are serialized volume-wide (one ``tx_log_head``), so exactly one
+transaction is ever pending on a device.
+
+Abort before commit discards the buffer — nothing reached PM.  A hard
+failure *during* apply rolls the transaction back: namespace ops are
+undone in reverse (created entries unlinked, renames reversed) and
+dirtied pre-existing files are restored from their kernel acquisition
+snapshots — for a lease-delegated file that is the parked pre-dirty
+snapshot, the same rollback point the delegation contract keeps.  If an
+applied ``unlink`` makes logical rollback impossible, the sealed log is
+left pending instead (:class:`~repro.errors.TxCommitPending`) and the
+next mount rolls the transaction forward.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.concurrency.failpoints import failpoints
+from repro.errors import (
+    CrashPoint,
+    Exists,
+    InvalidArgument,
+    IsADir,
+    NoEntry,
+    NotADir,
+    SimulatedFault,
+    TxAborted,
+    TxCommitPending,
+    TxError,
+)
+from repro.libfs import paths
+from repro.tx.log import (
+    TX_CREATE,
+    TX_MKDIR,
+    TX_PWRITE,
+    TX_RENAME,
+    TX_TRUNCATE,
+    TX_UNLINK,
+    TxRecord,
+    build_payload,
+    clear_seal,
+    seal,
+    write_log,
+)
+from repro.tx.recovery import apply_record
+
+#: Process-wide transaction ids (diagnostic; uniqueness per volume is
+#: guaranteed by the single-pending-log invariant, not by this counter).
+_txids = itertools.count(1)
+
+_OPEN = "open"
+_COMMITTED = "committed"
+_ABORTED = "aborted"
+_PENDING = "pending-replay"
+
+
+class Tx:
+    """One crash-atomic unit of work across many files.
+
+    Usable as a context manager (commit on clean exit, abort on
+    exception) or driven explicitly via :meth:`commit` / :meth:`abort`.
+    """
+
+    def __init__(self, manager: "TxManager"):
+        self._mgr = manager
+        self.txid = next(_txids)
+        self.ops: List[TxRecord] = []
+        self.state = _OPEN
+        #: staged namespace overlay: normalized path -> "file" | "dir" |
+        #: None (deleted by this tx).  Paths absent here resolve against
+        #: the live filesystem (through any staged directory renames).
+        self._overlay: Dict[str, Optional[str]] = {}
+        #: staged directory renames, oldest first, for path translation.
+        self._dir_renames: List[Tuple[str, str]] = []
+
+    # ------------------------------------------------------------------ #
+    # Staged namespace resolution
+    # ------------------------------------------------------------------ #
+
+    def _live_path(self, path: str) -> str:
+        """Translate a staged path back to its current on-volume name."""
+        for old, new in reversed(self._dir_renames):
+            if path == new or path.startswith(new + "/"):
+                path = old + path[len(new):]
+        return path
+
+    def _node_type(self, path: str) -> Optional[str]:
+        if path == "/":
+            return "dir"
+        if path in self._overlay:
+            return self._overlay[path]
+        # A staged-away ancestor (deleted or renamed from under this path)
+        # hides everything beneath it, even entries still live on-volume.
+        anc = path
+        while anc != "/":
+            anc = anc.rsplit("/", 1)[0] or "/"
+            if anc in self._overlay:
+                if self._overlay[anc] != "dir":
+                    return None
+                break
+        fs = self._mgr.fs
+        live = self._live_path(path)
+        try:
+            st = fs.stat(live)
+        except NoEntry:
+            return None
+        return "dir" if st.is_dir else "file"
+
+    def _require_parent_dir(self, path: str) -> None:
+        parent = path.rsplit("/", 1)[0] or "/"
+        ptype = self._node_type(parent)
+        if ptype is None:
+            raise NoEntry(parent)
+        if ptype != "dir":
+            raise NotADir(parent)
+
+    def _require_open(self) -> None:
+        if self.state != _OPEN:
+            raise TxError(f"transaction {self.txid} is {self.state}")
+
+    def _record(self, rec: TxRecord) -> None:
+        self.ops.append(rec)
+        obs.count("tx.ops", op=rec.op)
+
+    # ------------------------------------------------------------------ #
+    # Buffered operations
+    # ------------------------------------------------------------------ #
+
+    def create(self, path: str, mode: int = 0o664) -> None:
+        """Stage creation of an empty regular file."""
+        self._require_open()
+        path = paths.normalize(path)
+        if self._node_type(path) is not None:
+            raise Exists(path)
+        self._require_parent_dir(path)
+        self._record(TxRecord(TX_CREATE, path, arg=mode))
+        self._overlay[path] = "file"
+
+    def mkdir(self, path: str, mode: int = 0o775) -> None:
+        """Stage creation of a directory."""
+        self._require_open()
+        path = paths.normalize(path)
+        if self._node_type(path) is not None:
+            raise Exists(path)
+        self._require_parent_dir(path)
+        self._record(TxRecord(TX_MKDIR, path, arg=mode))
+        self._overlay[path] = "dir"
+
+    def pwrite(self, path: str, data: bytes, offset: int = 0) -> None:
+        """Stage a write into an existing (or tx-created) regular file."""
+        self._require_open()
+        path = paths.normalize(path)
+        ntype = self._node_type(path)
+        if ntype is None:
+            raise NoEntry(path)
+        if ntype == "dir":
+            raise IsADir(path)
+        if offset < 0:
+            raise InvalidArgument("negative offset")
+        self._record(TxRecord(TX_PWRITE, path, arg=offset, data=bytes(data)))
+
+    def write_file(self, path: str, data: bytes) -> None:
+        """Stage create-if-missing + truncate + full overwrite."""
+        path = paths.normalize(path)
+        if self._node_type(path) is None:
+            self.create(path)
+        else:
+            self.truncate(path, len(data))
+        self.pwrite(path, data, 0)
+
+    def truncate(self, path: str, size: int) -> None:
+        """Stage a size change of a regular file."""
+        self._require_open()
+        path = paths.normalize(path)
+        ntype = self._node_type(path)
+        if ntype is None:
+            raise NoEntry(path)
+        if ntype == "dir":
+            raise IsADir(path)
+        if size < 0:
+            raise InvalidArgument("negative size")
+        self._record(TxRecord(TX_TRUNCATE, path, arg=size))
+
+    def rename(self, old: str, new: str) -> None:
+        """Stage a rename; the destination must not exist."""
+        self._require_open()
+        old = paths.normalize(old)
+        new = paths.normalize(new)
+        otype = self._node_type(old)
+        if otype is None:
+            raise NoEntry(old)
+        if self._node_type(new) is not None:
+            raise Exists(new)
+        self._require_parent_dir(new)
+        if otype == "dir" and (new == old or new.startswith(old + "/")):
+            raise InvalidArgument(f"cannot move {old!r} under itself")
+        self._record(TxRecord(TX_RENAME, old, data=new.encode()))
+        self._overlay[old] = None
+        self._overlay[new] = otype
+        if otype == "dir":
+            # Re-home staged children and remember the prefix move so live
+            # lookups under the new name reach the still-unmoved subtree.
+            prefix = old + "/"
+            for p in [p for p in self._overlay if p.startswith(prefix)]:
+                self._overlay[new + p[len(old):]] = self._overlay.pop(p)
+            self._dir_renames.append((old, new))
+
+    def unlink(self, path: str) -> None:
+        """Stage removal of a regular file."""
+        self._require_open()
+        path = paths.normalize(path)
+        ntype = self._node_type(path)
+        if ntype is None:
+            raise NoEntry(path)
+        if ntype == "dir":
+            raise IsADir(path)
+        self._record(TxRecord(TX_UNLINK, path))
+        self._overlay[path] = None
+
+    # ------------------------------------------------------------------ #
+    # Commit / abort
+    # ------------------------------------------------------------------ #
+
+    def commit(self) -> Dict[str, int]:
+        """Make every staged op durable as one crash-atomic unit.
+
+        Returns ``{"ops": ..., "log_pages": ..., "log_bytes": ...}``.
+        """
+        self._require_open()
+        if not self.ops:
+            self.state = _COMMITTED
+            obs.count("tx.commits", empty=True)
+            return {"ops": 0, "log_pages": 0, "log_bytes": 0}
+        mgr = self._mgr
+        with mgr.commit_lock, obs.span(
+            "tx.commit", category="tx", txid=self.txid, ops=len(self.ops)
+        ):
+            payload = build_payload(self.txid, self.ops)
+            with obs.span("tx.log", category="tx"):
+                pages = write_log(mgr.device, mgr.geom, mgr.alloc, payload)
+            failpoints.hit("tx.pre_seal", self.txid)
+            with obs.span("tx.seal", category="tx"):
+                seal(mgr.device, pages[0])
+            failpoints.hit("tx.post_seal", self.txid)
+            applied: List[TxRecord] = []
+            try:
+                with obs.span("tx.apply", category="tx"):
+                    for i, rec in enumerate(self.ops):
+                        failpoints.hit("tx.apply_op", (self.txid, i))
+                        apply_record(mgr.fs, rec)
+                        applied.append(rec)
+            except (CrashPoint, SimulatedFault):
+                raise  # a simulated machine crash: recovery finishes the tx
+            except Exception as exc:
+                self._apply_failed(applied, pages, exc)
+            failpoints.hit("tx.pre_checkpoint", self.txid)
+            with obs.span("tx.checkpoint", category="tx"):
+                clear_seal(mgr.device)
+                for page_no in pages:
+                    mgr.alloc.free(page_no)
+        self.state = _COMMITTED
+        obs.count("tx.commits")
+        obs.count("tx.log_pages", len(pages))
+        obs.count("tx.log_bytes", len(payload))
+        return {"ops": len(self.ops), "log_pages": len(pages),
+                "log_bytes": len(payload)}
+
+    def abort(self) -> None:
+        """Discard the staged ops; nothing has touched PM."""
+        self._require_open()
+        self.state = _ABORTED
+        self.ops.clear()
+        self._overlay.clear()
+        self._dir_renames.clear()
+        obs.count("tx.aborts")
+
+    def _apply_failed(self, applied: List[TxRecord], pages: List[int],
+                      exc: Exception) -> None:
+        """Undo a partially-applied commit, or hand it to recovery.
+
+        An applied ``unlink`` is not logically reversible (the inode and
+        its pages are gone), so a failure after one leaves the sealed log
+        pending: the volume temporarily shows a prefix of the tx and the
+        next mount replays the log to completion (roll-forward).  Every
+        other partial prefix is rolled back: namespace ops are inverted in
+        reverse order and dirtied pre-existing files are restored from
+        their kernel acquisition snapshots.
+        """
+        mgr = self._mgr
+        if any(rec.op == TX_UNLINK for rec in applied):
+            self.state = _PENDING
+            obs.count("tx.roll_forward_pending")
+            raise TxCommitPending(
+                f"transaction {self.txid} failed mid-apply after an unlink; "
+                f"sealed log will be replayed at next mount"
+            ) from exc
+        created = {rec.path for rec in applied
+                   if rec.op in (TX_CREATE, TX_MKDIR)}
+        rolled_back = set()
+        for rec in reversed(applied):
+            try:
+                if rec.op == TX_CREATE:
+                    if mgr.fs.exists(rec.path):
+                        mgr.fs.unlink(rec.path)
+                elif rec.op == TX_MKDIR:
+                    if mgr.fs.exists(rec.path):
+                        mgr.fs.rmdir(rec.path)
+                elif rec.op == TX_RENAME:
+                    dst = rec.data.decode("utf-8", "replace")
+                    if mgr.fs.exists(dst):
+                        mgr.fs.rename(dst, rec.path)
+                elif rec.op in (TX_PWRITE, TX_TRUNCATE):
+                    if rec.path in created or rec.path in rolled_back:
+                        continue
+                    mgr.fs.rollback_ino(mgr.fs._path_ino(rec.path))
+                    rolled_back.add(rec.path)
+            except Exception:
+                # Best-effort: anything left over is a repairable fsck
+                # state, never a torn transaction (the log is discarded).
+                obs.count("tx.rollback_skipped")
+        clear_seal(mgr.device)
+        for page_no in pages:
+            mgr.alloc.free(page_no)
+        self.state = _ABORTED
+        obs.count("tx.aborts", apply_failure=True)
+        raise TxAborted(
+            f"transaction {self.txid} rolled back: {exc}"
+        ) from exc
+
+    # ------------------------------------------------------------------ #
+    # Context manager
+    # ------------------------------------------------------------------ #
+
+    def __enter__(self) -> "Tx":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.state != _OPEN:
+            return
+        if exc_type is None:
+            self.commit()
+        else:
+            self.abort()
+
+    def __repr__(self) -> str:
+        return f"<Tx {self.txid} {self.state}, {len(self.ops)} op(s)>"
+
+
+class TxManager:
+    """Per-session factory for :class:`Tx` handles.
+
+    Constructed by the ``repro.api`` facade only (TID251-banned
+    elsewhere); shares the session's LibFS and its kernel's allocator.
+    Commits across *all* managers of a volume serialize on the kernel's
+    ``tx_commit_lock`` — the superblock holds exactly one pending log.
+    """
+
+    def __init__(self, fs):
+        self.fs = fs
+        self.kernel = fs.kernel
+        self.device = fs.kernel.device
+        self.geom = fs.kernel.geom
+        self.alloc = fs.kernel.alloc
+        self.commit_lock = getattr(fs.kernel, "tx_commit_lock", None) \
+            or threading.Lock()
+
+    def begin(self) -> Tx:
+        obs.count("tx.begin")
+        return Tx(self)

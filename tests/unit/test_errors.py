@@ -63,6 +63,9 @@ class TestExitCodes:
         (E.TenantLimit("cap"), E.EXIT_SERVER),
         (E.ProtocolError("bad frame"), E.EXIT_SERVER),
         (E.SessionGone("tok"), E.EXIT_SERVER),
+        (E.TxError("misuse"), E.EXIT_TX),
+        (E.TxAborted("rolled back"), E.EXIT_TX),
+        (E.TxCommitPending("remount"), E.EXIT_TX),
     ])
     def test_mapping(self, exc, want):
         assert E.exit_code_for(exc) == want

@@ -1,0 +1,277 @@
+"""Transaction handle semantics: buffering, validation, commit, abort.
+
+The crash-atomicity half of the contract lives in
+``tests/integration/test_tx_crash.py``; this module covers the in-process
+API surface — the staged-namespace validation a :class:`~repro.tx.Tx`
+runs at op time, the handle's state machine, the ``VolumeConfig``
+unification on the facade, and the server dispatch adapters.
+"""
+
+import pytest
+
+from repro import errors as E
+from repro.api import Volume, VolumeConfig
+from repro.core.config import ARCKFS_PLUS
+from repro.server import dispatch
+from repro.server.protocol import error_body, pack_bytes
+
+
+def make_volume(**kw):
+    kw.setdefault("inode_count", 128)
+    return Volume.create(16 * 1024 * 1024, **kw)
+
+
+class TestStagedValidation:
+    """Conflicts surface at op time, against tx-local effects layered
+    over the live namespace — and nothing touches PM before commit."""
+
+    def test_create_conflicts_with_live_and_staged(self):
+        with make_volume() as vol, vol.session("app") as s:
+            s.write_file("/live", b"x")
+            tx = s.transaction()
+            with pytest.raises(E.Exists):
+                tx.create("/live")
+            tx.create("/staged")
+            with pytest.raises(E.Exists):
+                tx.create("/staged")
+            tx.abort()
+
+    def test_pwrite_requires_file_parent_requires_dir(self):
+        with make_volume() as vol, vol.session("app") as s:
+            tx = s.transaction()
+            with pytest.raises(E.NoEntry):
+                tx.pwrite("/missing", b"x", 0)
+            with pytest.raises(E.NoEntry):
+                tx.create("/nodir/f")
+            tx.mkdir("/d")
+            with pytest.raises(E.IsADir):
+                tx.pwrite("/d", b"x", 0)
+            tx.create("/f")
+            with pytest.raises(E.NotADir):
+                tx.create("/f/child")
+            tx.abort()
+
+    def test_unlink_and_rename_validation(self):
+        with make_volume() as vol, vol.session("app") as s:
+            s.write_file("/a", b"a")
+            s.write_file("/b", b"b")
+            tx = s.transaction()
+            with pytest.raises(E.NoEntry):
+                tx.unlink("/missing")
+            with pytest.raises(E.Exists):
+                tx.rename("/a", "/b")
+            tx.unlink("/b")
+            tx.rename("/a", "/b")  # destination freed by the staged unlink
+            with pytest.raises(E.NoEntry):
+                tx.pwrite("/a", b"x", 0)  # source gone in the staged view
+            tx.abort()
+
+    def test_dir_rename_rehomes_staged_and_live_children(self):
+        with make_volume() as vol, vol.session("app") as s:
+            s.mkdir("/d")
+            s.write_file("/d/live", b"live")
+            tx = s.transaction()
+            tx.create("/d/staged")
+            tx.rename("/d", "/e")
+            tx.pwrite("/e/staged", b"s", 0)   # staged child, rehomed
+            tx.pwrite("/e/live", b"L", 0)     # live child through the move
+            with pytest.raises(E.NoEntry):
+                tx.pwrite("/d/live", b"x", 0)  # old name gone in staged view
+            tx.commit()
+            assert s.read_file("/e/staged") == b"s"
+            assert s.read_file("/e/live") == b"Live"
+
+    def test_rename_dir_under_itself_rejected(self):
+        with make_volume() as vol, vol.session("app") as s:
+            s.mkdir("/d")
+            tx = s.transaction()
+            with pytest.raises(E.InvalidArgument):
+                tx.rename("/d", "/d/sub")
+            tx.abort()
+
+    def test_nothing_reaches_pm_before_commit(self):
+        with make_volume() as vol, vol.session("app") as s:
+            tx = s.transaction()
+            tx.mkdir("/d")
+            tx.create("/d/f")
+            tx.pwrite("/d/f", b"payload", 0)
+            assert not s.exists("/d")
+            tx.abort()
+            assert not s.exists("/d")
+        assert vol.fsck().clean
+
+
+class TestHandleLifecycle:
+    def test_commit_applies_all_ops(self):
+        with make_volume() as vol, vol.session("app") as s:
+            s.write_file("/old", b"moved")
+            tx = s.transaction()
+            tx.mkdir("/batch")
+            tx.create("/batch/a")
+            tx.pwrite("/batch/a", b"hello", 0)
+            tx.rename("/old", "/batch/b")
+            tx.truncate("/batch/a", 4)
+            stats = tx.commit()
+            assert stats["ops"] == 5 and stats["log_pages"] >= 1
+            assert s.read_file("/batch/a") == b"hell"
+            assert s.read_file("/batch/b") == b"moved"
+            assert not s.exists("/old")
+        assert vol.fsck().clean
+
+    def test_empty_commit_is_a_noop(self):
+        with make_volume() as vol, vol.session("app") as s:
+            assert s.transaction().commit() == {
+                "ops": 0, "log_pages": 0, "log_bytes": 0}
+
+    def test_handle_is_single_shot(self):
+        with make_volume() as vol, vol.session("app") as s:
+            tx = s.transaction()
+            tx.create("/f")
+            tx.commit()
+            for call in (lambda: tx.create("/g"), tx.commit, tx.abort):
+                with pytest.raises(E.TxError):
+                    call()
+            tx2 = s.transaction()
+            tx2.abort()
+            with pytest.raises(E.TxError):
+                tx2.commit()
+
+    def test_context_manager_commits_on_clean_exit(self):
+        with make_volume() as vol, vol.session("app") as s:
+            with s.transaction() as tx:
+                tx.create("/f")
+                tx.pwrite("/f", b"data", 0)
+            assert tx.state == "committed"
+            assert s.read_file("/f") == b"data"
+
+    def test_context_manager_aborts_on_exception(self):
+        with make_volume() as vol, vol.session("app") as s:
+            with pytest.raises(RuntimeError):
+                with s.transaction() as tx:
+                    tx.create("/f")
+                    raise RuntimeError("caller bug")
+            assert tx.state == "aborted"
+            assert not s.exists("/f")
+        assert vol.fsck().clean
+
+    def test_write_file_composes(self):
+        with make_volume() as vol, vol.session("app") as s:
+            s.write_file("/f", b"longer original")
+            with s.transaction() as tx:
+                tx.write_file("/f", b"new")      # existing: truncate+pwrite
+                tx.write_file("/g", b"fresh")    # missing: create+pwrite
+            assert s.read_file("/f") == b"new"
+            assert s.read_file("/g") == b"fresh"
+
+
+class TestExitCodes:
+    @pytest.mark.parametrize("exc", [
+        E.TxError("x"), E.TxAborted("x"), E.TxCommitPending("x"),
+    ])
+    def test_tx_family_exits_9(self, exc):
+        assert E.exit_code_for(exc) == E.EXIT_TX == 9
+
+    def test_codes_and_retryability_are_stable(self):
+        assert E.TxError("x").code == 220
+        assert E.TxAborted("x").code == 221
+        assert E.TxCommitPending("x").code == 222
+        assert not E.TxError("x").retryable
+        assert E.TxAborted("x").retryable
+        assert not E.TxCommitPending("x").retryable
+
+
+class TestVolumeConfig:
+    def test_legacy_kwargs_and_volumeconfig_are_equivalent(self):
+        legacy = Volume.create(8 * 1024 * 1024, inode_count=64,
+                               crash_tracking=True, verify_workers=2,
+                               name="lv")
+        unified = Volume.create(8 * 1024 * 1024, config=VolumeConfig(
+            inode_count=64, crash_tracking=True, verify_workers=2,
+            name="uv"))
+        assert legacy.kernel.geom.inode_count == \
+            unified.kernel.geom.inode_count == 64
+        assert legacy.device.crash_tracking and unified.device.crash_tracking
+        assert legacy.config == unified.config
+        assert (legacy.name, unified.name) == ("lv", "uv")
+
+    def test_legacy_kwargs_override_volumeconfig_fields(self):
+        vc = VolumeConfig(inode_count=64, name="from-vc")
+        vol = Volume.create(8 * 1024 * 1024, config=vc, inode_count=32,
+                            name="shim-wins")
+        assert vol.kernel.geom.inode_count == 32
+        assert vol.name == "shim-wins"
+
+    def test_bare_arckconfig_still_accepted(self):
+        vol = Volume.create(8 * 1024 * 1024, config=ARCKFS_PLUS)
+        assert vol.config.name == ARCKFS_PLUS.name
+
+    def test_mount_accepts_volumeconfig(self):
+        src = Volume.create(8 * 1024 * 1024)
+        with src.session("w") as s:
+            s.write_file("/f", b"x")
+        vol = Volume.mount(src.device.durable_image(),
+                           config=VolumeConfig(name="mounted"))
+        assert vol.name == "mounted"
+        with vol.session("r") as s:
+            assert s.read_file("/f") == b"x"
+
+    def test_coerce_and_override(self):
+        assert VolumeConfig.coerce(None) == VolumeConfig()
+        vc = VolumeConfig(inode_count=99)
+        assert VolumeConfig.coerce(vc) is vc
+        assert VolumeConfig.coerce(ARCKFS_PLUS).config is ARCKFS_PLUS
+        assert vc.override() is vc
+        assert vc.override(inode_count=None) is vc
+        assert vc.override(inode_count=7).inode_count == 7
+
+
+class TestDispatch:
+    """The server's tx_* adapters, driven directly against a Session."""
+
+    def test_begin_op_commit_roundtrip(self):
+        with make_volume() as vol, vol.session("tenant") as s:
+            out = dispatch.op_tx_begin(s, {})
+            assert out["txid"] >= 1
+            dispatch.op_tx_op(s, {"op": "mkdir", "path": "/d"})
+            dispatch.op_tx_op(s, {"op": "create", "path": "/d/f"})
+            n = dispatch.op_tx_op(s, {
+                "op": "pwrite", "path": "/d/f",
+                "data": pack_bytes(b"wire"), "offset": 0})
+            assert n["ops"] == 3
+            stats = dispatch.op_tx_commit(s, {})
+            assert stats["ops"] == 3
+            assert s.read_file("/d/f") == b"wire"
+
+    def test_abort_discards(self):
+        with make_volume() as vol, vol.session("tenant") as s:
+            dispatch.op_tx_begin(s, {})
+            dispatch.op_tx_op(s, {"op": "create", "path": "/f"})
+            dispatch.op_tx_abort(s, {})
+            assert not s.exists("/f")
+
+    def test_misuse_raises_typed_tx_errors(self):
+        with make_volume() as vol, vol.session("tenant") as s:
+            with pytest.raises(E.TxError):
+                dispatch.op_tx_op(s, {"op": "create", "path": "/f"})
+            with pytest.raises(E.TxError):
+                dispatch.op_tx_commit(s, {})
+            dispatch.op_tx_begin(s, {})
+            with pytest.raises(E.TxError):
+                dispatch.op_tx_begin(s, {})
+            with pytest.raises(E.InvalidArgument):
+                dispatch.op_tx_op(s, {"op": "chmod", "path": "/f"})
+            dispatch.op_tx_abort(s, {})
+            # the handle is gone after abort; commit is a typed error again
+            with pytest.raises(E.TxError):
+                dispatch.op_tx_commit(s, {})
+
+    def test_error_bodies_carry_code_and_retryable(self):
+        body = error_body(E.TxAborted("rolled back"))
+        assert body["type"] == "TxAborted"
+        assert body["code"] == 221 and body["retryable"] is True
+        body = error_body(E.TxCommitPending("remount"))
+        assert body["code"] == 222 and body["retryable"] is False
+
+    def test_ops_registered_in_dispatch_table(self):
+        for method in ("tx_begin", "tx_op", "tx_commit", "tx_abort"):
+            assert method in dispatch.SESSION_OPS
