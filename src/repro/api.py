@@ -41,6 +41,7 @@ from repro.core.config import ARCKFS_PLUS, ArckConfig
 from repro.kernel.controller import KernelController, RecoveryReport
 from repro.kernel.policy import ResolutionPolicy
 from repro.libfs.libfs import LibFS
+from repro.pm.array import PMArray, reboot_device
 from repro.pm.device import PMDevice
 
 
@@ -91,6 +92,12 @@ class VolumeConfig:
     verify_workers: Optional[int] = None
     verify_delegation: Optional[bool] = None
     delegation_window: Optional[float] = None
+    #: Member devices; >1 creates a striped :class:`~repro.pm.array.PMArray`.
+    devices: int = 1
+    #: Pages per stripe unit on a multi-device volume (create only).
+    stripe_pages: int = 1
+    #: I/O delegation worker threads per member queue (0 = inline).
+    delegation_workers: int = 0
     #: Metrics label for the volume (auto ``vol<N>`` when omitted).
     name: Optional[str] = None
 
@@ -270,6 +277,9 @@ class Volume:
         verify_workers: Optional[int] = None,
         verify_delegation: Optional[bool] = None,
         delegation_window: Optional[float] = None,
+        devices: Optional[int] = None,
+        stripe_pages: Optional[int] = None,
+        delegation_workers: Optional[int] = None,
         name: Optional[str] = None,
     ) -> "Volume":
         """mkfs + mount a fresh volume of ``size`` bytes.
@@ -281,14 +291,26 @@ class Volume:
         ``crash_tracking=True`` enables the device's crash-state
         enumeration (needed by the §4.2 bug demos and the transaction
         crash tests, off by default because it shadows every store).
+        ``devices>1`` backs the volume with a striped
+        :class:`~repro.pm.array.PMArray` (``stripe_pages`` per unit,
+        ``delegation_workers`` threads per member I/O queue).
         """
         opts = VolumeConfig.coerce(config).override(
             inode_count=inode_count, policy=policy,
             crash_tracking=crash_tracking, verify_workers=verify_workers,
             verify_delegation=verify_delegation,
-            delegation_window=delegation_window, name=name)
+            delegation_window=delegation_window, devices=devices,
+            stripe_pages=stripe_pages,
+            delegation_workers=delegation_workers, name=name)
         if device is None:
-            device = PMDevice(size, crash_tracking=opts.crash_tracking)
+            if opts.devices > 1:
+                device = PMArray(
+                    size, devices=opts.devices,
+                    stripe_pages=opts.stripe_pages,
+                    crash_tracking=opts.crash_tracking,
+                    delegation_workers=opts.delegation_workers)
+            else:
+                device = PMDevice(size, crash_tracking=opts.crash_tracking)
         kernel = KernelController.fresh(
             device, inode_count=opts.inode_count, config=opts.tuned(),
             policy=opts.policy)
@@ -322,7 +344,9 @@ class Volume:
             verify_delegation=verify_delegation,
             delegation_window=delegation_window, name=name)
         if isinstance(source, (bytes, bytearray)):
-            device = PMDevice.from_image(
+            # The image's superblock names the device shape: a recorded
+            # member count > 1 reboots into a PMArray of that shape.
+            device = reboot_device(
                 bytes(source), crash_tracking=opts.crash_tracking)
         else:
             device = source
@@ -400,6 +424,9 @@ class Volume:
         for sess in reversed(self.live_sessions):
             sess.shutdown()
         self.quiesce()
+        stop = getattr(self.device, "close", None)
+        if stop is not None:
+            stop()  # retire a PMArray's delegation workers
 
     def __enter__(self) -> "Volume":
         return self

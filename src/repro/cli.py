@@ -510,13 +510,17 @@ def cmd_loadgen(args) -> int:
 
 def cmd_fsck(args) -> int:
     from repro.fsck import INJECTORS, build_volume, run_fsck
-    from repro.pm.device import PMDevice
+    from repro.pm.array import reboot_device
 
     if args.image:
         with open(args.image, "rb") as fh:
-            device = PMDevice.from_image(fh.read(), crash_tracking=False)
+            # The superblock names the shape: multi-device images reboot
+            # into a striped PMArray, flat ones into a PMDevice.
+            device = reboot_device(fh.read(), crash_tracking=False)
     else:
-        device, _kernel, _fs = build_volume(files=args.files, dirs=args.dirs)
+        device, _kernel, _fs = build_volume(
+            files=args.files, dirs=args.dirs,
+            devices=args.devices, stripe_pages=args.stripe_pages)
         for name in args.inject or ():
             inject, _cls = INJECTORS[name]
             inject(device)
@@ -665,6 +669,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="files on the built volume (default 64)")
     fsck.add_argument("--dirs", type=int, default=4,
                       help="directories on the built volume (default 4)")
+    fsck.add_argument("--devices", type=int, default=1,
+                      help="member PM devices for the built volume; >1 "
+                           "builds a striped array (default 1)")
+    fsck.add_argument("--stripe-pages", type=int, default=1,
+                      help="pages per stripe unit on a multi-device "
+                           "volume (default 1)")
     fsck.add_argument("--inject", action="append", metavar="CLASS",
                       choices=sorted(_injector_names()),
                       help="plant one corruption of this class before "

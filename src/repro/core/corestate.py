@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import InvalidArgument, NameTooLong
 from repro.pm.allocator import PageAllocator
@@ -427,19 +427,39 @@ class CoreState:
         if off >= size:
             return b""
         n = min(n, size - off)
-        out = bytearray()
+        # Plan the read as (addr, nbytes) chunks — None addr for holes —
+        # merging physically contiguous pieces, then fetch the lot in one
+        # batched gather (fanned across a striped array's device queues).
+        plan: List[Tuple[Optional[int], int]] = []
         while n > 0:
             page_idx = off // PAGE_SIZE
             in_page = off % PAGE_SIZE
             chunk = min(n, PAGE_SIZE - in_page)
             if page_idx >= len(pages):
-                out += b"\0" * chunk  # hole
+                addr = None  # hole
             else:
                 addr = self.geom.page_off(pages[page_idx]) + in_page
-                out += self.mem.load(addr, chunk)
+            prev = plan[-1] if plan else None
+            if (prev is not None and prev[0] is not None and addr is not None
+                    and prev[0] + prev[1] == addr):
+                plan[-1] = (prev[0], prev[1] + chunk)
+            elif prev is not None and prev[0] is None and addr is None:
+                plan[-1] = (None, prev[1] + chunk)
+            else:
+                plan.append((addr, chunk))
             off += chunk
             n -= chunk
-        return bytes(out)
+        reads = [(addr, nb) for addr, nb in plan if addr is not None]
+        if len(reads) > 1:
+            gather = getattr(self.mem, "load_gather", None)
+            if gather is not None:
+                fetched = iter(gather(reads))
+                return b"".join(
+                    b"\0" * nb if addr is None else next(fetched)
+                    for addr, nb in plan)
+        return b"".join(
+            b"\0" * nb if addr is None else self.mem.load(addr, nb)
+            for addr, nb in plan)
 
     def write_page_data(self, page_no: int, in_page_off: int, data: bytes) -> None:
         """Store data into one page and queue its write-back (no fence)."""
@@ -463,4 +483,25 @@ class CoreState:
             raise InvalidArgument("extent offset beyond the first page")
         npages = (in_page_off + len(data) + PAGE_SIZE - 1) // PAGE_SIZE
         self.geom.page_off(start_page + npages - 1)  # range-check the tail
-        self.mem.ntstore(self.geom.page_off(start_page) + in_page_off, data)
+        runs = list(self.geom.extent_runs(start_page, npages))
+        if len(runs) == 1:
+            self.mem.ntstore(self.geom.page_off(start_page) + in_page_off, data)
+            return
+        # On a striped array the extent crosses stripe units: one ntstore
+        # per physically-contiguous run, fanned out across the per-device
+        # delegation queues.  The caller's single sfence still covers all
+        # of it (the array fences every member it dirtied).
+        ops = []
+        pos = 0
+        off = in_page_off
+        for run_start, run_count in runs:
+            nbytes = min(len(data) - pos, run_count * PAGE_SIZE - off)
+            ops.append((self.geom.page_off(run_start) + off, data[pos:pos + nbytes]))
+            pos += nbytes
+            off = 0
+        scatter = getattr(self.mem, "ntstore_scatter", None)
+        if scatter is not None:
+            scatter(ops)
+        else:
+            for addr, chunk in ops:
+                self.mem.ntstore(addr, chunk)

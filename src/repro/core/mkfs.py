@@ -8,6 +8,7 @@ from repro.pm.layout import (
     ITYPE_DIR,
     NTAILS,
     SB_MAGIC,
+    ArrayLabel,
     Geometry,
     InodeRecord,
     Superblock,
@@ -20,13 +21,23 @@ ROOT_INO = 0
 ROOT_MODE = 0o777
 
 
-def mkfs(device: PMDevice, inode_count: int = 1024, root_uid: int = 0) -> Geometry:
+def mkfs(device: PMDevice, inode_count: int = 1024, root_uid: int = 0,
+         stripe_pages: int = 0) -> Geometry:
     """Write a fresh file system: superblock, empty inode table, root dir.
+
+    On a :class:`~repro.pm.array.PMArray` the data region is striped across
+    the members (``stripe_pages`` defaults to the array's preference) and
+    each member past the first gets an :class:`ArrayLabel` stamped over its
+    metadata reservation, so fsck can cross-check the stripe shape.
 
     Returns the geometry.  Everything is durably persisted before return, so
     a crash immediately after mkfs recovers to an empty file system.
     """
-    geom = Geometry.compute(device.size, inode_count)
+    devices = getattr(device, "device_count", 1)
+    if stripe_pages <= 0:
+        stripe_pages = getattr(device, "stripe_pages", 1)
+    geom = Geometry.compute(device.size, inode_count,
+                            devices=devices, stripe_pages=stripe_pages)
     if geom.page_count < 4:
         raise ValueError("device too small for this inode count")
 
@@ -40,12 +51,22 @@ def mkfs(device: PMDevice, inode_count: int = 1024, root_uid: int = 0) -> Geomet
         data_off=geom.data_off,
         root_ino=ROOT_INO,
         tx_log_head=0,
+        devices=geom.devices,
+        stripe_pages=geom.stripe_pages,
     )
 
-    # Zero the inode table and the bitmap region.
+    # Zero the inode table and the bitmap region.  The bitmap is sized for
+    # the device's full capacity (not just page_count), so fsck can prove
+    # the slack bits past the last stripe slot are never used.
     device.store(geom.itable_off, b"\0" * (inode_count * InodeRecord.SIZE))
-    bitmap_bytes = (geom.page_count + 7) // 8
-    device.store(geom.bitmap_off, b"\0" * bitmap_bytes)
+    device.store(geom.bitmap_off, b"\0" * geom.bitmap_capacity_bytes)
+
+    # Stamp member labels over the metadata reservation of members 1..N-1.
+    for d in range(1, geom.devices):
+        label = ArrayLabel(device_index=d, device_count=geom.devices,
+                           stripe_pages=geom.stripe_pages,
+                           dev_size=geom.dev_size)
+        device.store(d * geom.dev_size, label.pack())
 
     # Root directory inode: an empty dir with no log tails yet.
     root = InodeRecord(
@@ -73,5 +94,7 @@ def load_geometry(device: PMDevice) -> Geometry:
     sb = Superblock.unpack(device.load(0, Superblock.SIZE))
     if not sb.valid:
         raise ValueError("device has no valid superblock (run mkfs)")
-    geom = Geometry.compute(sb.device_size, sb.inode_count)
+    geom = Geometry.compute(sb.device_size, sb.inode_count,
+                            devices=max(1, sb.devices),
+                            stripe_pages=max(1, sb.stripe_pages))
     return geom

@@ -39,6 +39,8 @@ from repro.fsck.findings import (  # noqa: F401  (re-exported API)
     F_PAGE_RESERVED,
     F_PAGE_UNALLOCATED,
     F_SIZE_MISMATCH,
+    F_STRIPE_LABEL,
+    F_STRIPE_ORPHAN,
     F_SUPERBLOCK,
     F_TORN_DENTRY,
     F_TX_TORN,
@@ -48,6 +50,6 @@ from repro.fsck.findings import (  # noqa: F401  (re-exported API)
     FsckReport,
 )
 from repro.fsck.auxcheck import check_libfs_aux, check_node_ref  # noqa: F401
-from repro.fsck.inject import INJECTORS  # noqa: F401
+from repro.fsck.inject import INJECTORS, inject_stripe_label  # noqa: F401
 from repro.fsck.runner import MAX_PASSES, fsck_checker, run_fsck  # noqa: F401
 from repro.fsck.volume import build_volume  # noqa: F401

@@ -33,6 +33,8 @@ from repro.fsck.findings import (
     F_PAGE_RESERVED,
     F_PAGE_UNALLOCATED,
     F_SIZE_MISMATCH,
+    F_STRIPE_LABEL,
+    F_STRIPE_ORPHAN,
     F_SUPERBLOCK,
     F_TORN_DENTRY,
     F_TX_TORN,
@@ -47,6 +49,7 @@ from repro.pm.layout import (
     PAGE_KIND_DIRLOG,
     PAGE_KIND_INDEX,
     PAGE_SIZE,
+    ArrayLabel,
     Geometry,
 )
 
@@ -358,12 +361,40 @@ def check_graph(
                 meta={"pages": list(tx_pages), "valid": False},
             ))
 
-    bitmap_bytes = (geom.page_count + 7) // 8
-    bitmap = device.load(geom.bitmap_off, bitmap_bytes)
+    # Read the bitmap at its full *capacity*, not just page_count bytes:
+    # on a striped array the last stripe slot sits below the raw capacity,
+    # and a set bit past it would be a fragment mapping to no (device,
+    # offset) at all — the stripe-map consistency cross-check.
+    bitmap = device.load(geom.bitmap_off, geom.bitmap_capacity_bytes)
     allocated = {
         p for p in range(1, geom.page_count + 1)
         if bitmap[(p - 1) >> 3] & (1 << ((p - 1) & 7))
     }
+    for bit in range(geom.page_count, 8 * geom.bitmap_capacity_bytes):
+        if bitmap[bit >> 3] & (1 << (bit & 7)):
+            findings.append(Finding(
+                F_STRIPE_ORPHAN,
+                f"bitmap bit {bit} set past the last stripe slot "
+                f"({geom.page_count} pages): fragment maps to no device",
+                page=bit + 1, meta={"bit": bit},
+            ))
+
+    # Every member past the first carries an ArrayLabel over its metadata
+    # reservation; a mismatch means the stripe shape the data was written
+    # under disagrees with what the superblock now claims.
+    for d in range(1, geom.devices):
+        label = ArrayLabel.unpack(device.load(d * geom.dev_size,
+                                              ArrayLabel.SIZE))
+        if (not label.valid or label.device_index != d
+                or label.device_count != geom.devices
+                or label.stripe_pages != geom.stripe_pages
+                or label.dev_size != geom.dev_size):
+            findings.append(Finding(
+                F_STRIPE_LABEL,
+                f"member {d} label disagrees with the superblock shape "
+                f"({geom.devices} devices, stripe {geom.stripe_pages})",
+                meta={"device": d},
+            ))
     for page_no in sorted(allocated - set(claims)):
         # A per-thread pool reservation stamps the page with the allocator's
         # tag under the same fence that persists the bitmap bit; the tag is

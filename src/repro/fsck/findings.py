@@ -33,6 +33,12 @@ class                     produced by
                           crash between seal and checkpoint: the volume may
                           show a *prefix* of the transaction until the log
                           is replayed (repair = replay; corrupt = discard)
+``stripe-orphan``         a bitmap bit set past the last stripe slot: the
+                          fragment maps to no (device, offset) on a striped
+                          array — an orphan no inode can ever claim
+``stripe-label``          a member device's array label disagreeing with the
+                          superblock's recorded shape (count / stripe width
+                          / member size)
 ========================  ====================================================
 """
 
@@ -58,6 +64,8 @@ F_SIZE_MISMATCH = "size-mismatch"
 F_NLINK_MISMATCH = "nlink-mismatch"
 F_AUX_MISMATCH = "aux-mismatch"
 F_TX_TORN = "tx-torn"
+F_STRIPE_ORPHAN = "stripe-orphan"
+F_STRIPE_LABEL = "stripe-label"
 
 ALL_CLASSES = (
     F_SUPERBLOCK,
@@ -76,6 +84,8 @@ ALL_CLASSES = (
     F_NLINK_MISMATCH,
     F_AUX_MISMATCH,
     F_TX_TORN,
+    F_STRIPE_ORPHAN,
+    F_STRIPE_LABEL,
 )
 
 #: The classes only an un-fenced commit-marker protocol (§4.2) can reach on

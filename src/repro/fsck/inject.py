@@ -231,6 +231,32 @@ def inject_nlink_mismatch(device: PMDevice) -> None:
     core.write_inode(ino, rec)
 
 
+def inject_stripe_orphan(device: PMDevice) -> None:
+    """Set a bitmap bit past the last stripe slot: a fragment that maps to
+    no (device, offset) and that no inode can ever claim.  The geometry
+    always keeps slack bits (the bitmap is sized for raw capacity), so this
+    works on flat volumes too."""
+    _core, geom = _env(device)
+    bit = geom.page_count  # first bit past the last real page
+    addr = geom.bitmap_off + (bit >> 3)
+    byte = device.load(addr, 1)[0] | (1 << (bit & 7))
+    device.store(addr, bytes([byte]))
+    device.persist(addr, 1)
+
+
+def inject_stripe_label(device: PMDevice) -> None:
+    """Corrupt member 1's array label (multi-device volumes only)."""
+    from repro.pm.layout import ArrayLabel
+
+    _core, geom = _env(device)
+    if geom.devices < 2:
+        raise RuntimeError("stripe-label injection needs a multi-device volume")
+    bad = ArrayLabel(device_index=1, device_count=geom.devices + 1,
+                     stripe_pages=geom.stripe_pages, dev_size=geom.dev_size)
+    device.store(geom.dev_size, bad.pack())
+    device.persist(geom.dev_size, ArrayLabel.SIZE)
+
+
 #: name -> (injector, expected finding class)
 INJECTORS: Dict[str, Tuple[Callable[[PMDevice], None], str]] = {
     "torn-dentry": (inject_torn_dentry, F.F_TORN_DENTRY),
@@ -246,4 +272,7 @@ INJECTORS: Dict[str, Tuple[Callable[[PMDevice], None], str]] = {
     "bad-page-kind": (inject_bad_page_kind, F.F_BAD_PAGE_KIND),
     "size-mismatch": (inject_size_mismatch, F.F_SIZE_MISMATCH),
     "nlink-mismatch": (inject_nlink_mismatch, F.F_NLINK_MISMATCH),
+    # inject_stripe_label is deliberately absent: it needs a multi-device
+    # volume, and this registry is parametrized over flat build_volume().
+    "stripe-orphan": (inject_stripe_orphan, F.F_STRIPE_ORPHAN),
 }

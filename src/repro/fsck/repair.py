@@ -35,6 +35,8 @@ from repro.fsck.findings import (
     F_PAGE_RESERVED,
     F_PAGE_UNALLOCATED,
     F_SIZE_MISMATCH,
+    F_STRIPE_LABEL,
+    F_STRIPE_ORPHAN,
     F_SUPERBLOCK,
     F_TORN_DENTRY,
     F_TX_TORN,
@@ -47,6 +49,7 @@ from repro.pm.layout import (
     ITYPE_DIR,
     NTAILS,
     PAGE_SIZE,
+    ArrayLabel,
     Geometry,
     InodeRecord,
     PageHeader,
@@ -61,6 +64,8 @@ from repro.pm.layout import (
 _REPAIR_ORDER = (
     F_TX_TORN,
     F_SUPERBLOCK,
+    F_STRIPE_LABEL,
+    F_STRIPE_ORPHAN,
     F_CHAIN_CORRUPT,
     F_BAD_PAGE_KIND,
     F_PAGE_DOUBLE_USE,
@@ -312,6 +317,24 @@ class Repairer:
         self._append_entry(lf, name, f.ino, rec.gen, rec.itype, seq=1)
         return True
 
+    def _repair_stripe_orphan(self, f: Finding) -> bool:
+        # The bit indexes past the last stripe slot, so no inode can claim
+        # the fragment; clearing the bit is always safe.
+        self._set_bitmap_bit(f.meta["bit"] + 1, False)
+        return True
+
+    def _repair_stripe_label(self, f: Finding) -> bool:
+        # The superblock is the authority (it carried the mount); restamp
+        # the member's label from the live geometry.
+        d = f.meta["device"]
+        label = ArrayLabel(device_index=d, device_count=self.geom.devices,
+                           stripe_pages=self.geom.stripe_pages,
+                           dev_size=self.geom.dev_size)
+        addr = d * self.geom.dev_size
+        self.device.store(addr, label.pack())
+        self.device.persist(addr, ArrayLabel.SIZE)
+        return True
+
     _HANDLERS = {
         F_TX_TORN: _repair_tx_torn,
         F_SUPERBLOCK: _repair_superblock,
@@ -328,4 +351,6 @@ class Repairer:
         F_SIZE_MISMATCH: _repair_size,
         F_NLINK_MISMATCH: _repair_nlink,
         F_ORPHAN_INODE: _repair_orphan,
+        F_STRIPE_ORPHAN: _repair_stripe_orphan,
+        F_STRIPE_LABEL: _repair_stripe_label,
     }

@@ -21,15 +21,19 @@ def build_volume(
     config: ArckConfig = ARCKFS_PLUS,
     crash_tracking: bool = False,
     uid: int = 1000,
+    devices: int = 1,
+    stripe_pages: int = 1,
 ) -> Tuple[PMDevice, KernelController, LibFS]:
     """A freshly formatted volume populated with ``dirs`` directories and
     ``files`` small files spread round-robin across them (plus the root).
 
     Layout is a pure function of the arguments, so every fsck test and the
-    bench see identical trees.
+    bench see identical trees.  ``devices > 1`` builds the same tree on a
+    striped :class:`~repro.pm.array.PMArray`.
     """
     vol = Volume.create(size, inode_count=inode_count, config=config,
-                        crash_tracking=crash_tracking)
+                        crash_tracking=crash_tracking, devices=devices,
+                        stripe_pages=stripe_pages)
     device, kernel = vol.device, vol.kernel
     fs = vol.session("fsck-vol", uid=uid).fs
     dirnames = [f"/d{i}" for i in range(dirs)]

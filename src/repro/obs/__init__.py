@@ -243,9 +243,12 @@ def trace_id() -> Optional[str]:
     return tracer.trace_id if tracer.enabled else None
 
 
-def publish_stats(prefix: str, stats: object) -> None:
+def publish_stats(prefix: str, stats: object, **labels) -> None:
     """Republish a stats dataclass (PMStats, KernelStats, LibFSStats, ...)
     into the registry: every int/float field becomes ``<prefix>.<field>``.
+    Keyword labels dimension every published series (e.g. ``device=0`` for
+    one member of a PM array; the snapshot rolls labeled series into their
+    base name, so per-device publishes aggregate automatically).
 
     Unconditional (not gated on :data:`enabled`): it is a snapshot-time
     operation, called once per run, never on a hot path.
@@ -256,9 +259,9 @@ def publish_stats(prefix: str, stats: object) -> None:
             continue
         name = f"{prefix}.{f.name.rstrip('_')}"
         if isinstance(v, int) and v >= 0:
-            metrics.counter(name).inc(v)
+            metrics.counter(name, **labels).inc(v)
         else:
-            metrics.gauge(name).set(v)
+            metrics.gauge(name, **labels).set(v)
 
 
 def stats_diff(now: object, earlier: object):

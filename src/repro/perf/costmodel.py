@@ -132,6 +132,19 @@ class CostModel:
     odinfs_delegate_rtt: float = 600.0
     #: [struct] OdinFS delegation threads per socket.
     odinfs_delegates_per_socket: int = 4
+
+    # -- striped PM array / I/O delegation (pm/array.py, pm/delegation.py) -- #
+    #: [struct] handing one extent to a member's delegation queue: the
+    #: enqueue, the latch bookkeeping and the completion wake-up.
+    delegate_enqueue: float = 350.0
+    #: [hw] one member device's saturation write bandwidth (bytes/ns): the
+    #: point its write-pending queues stop absorbing more streams.
+    pm_dev_write_bw: float = 12.0
+    pm_dev_read_bw: float = 15.0
+    #: [hw] what a single delegation stream sustains against one member
+    #: (bytes/ns); extra workers add streams until the device saturates.
+    pm_stream_write_bw: float = 4.0
+    pm_stream_read_bw: float = 5.0
     #: [calib] SplitFS userspace bookkeeping per data op.
     splitfs_user_cpu: float = 180.0
     #: [calib] Strata: log append + amortized trusted digestion per
@@ -253,6 +266,40 @@ class CostModel:
         """Modeled verification-throughput speedup of ``workers`` over 1."""
         return (self.verify_pipeline_time(pages, dentries, 1)
                 / self.verify_pipeline_time(pages, dentries, workers))
+
+    # -- striped array / delegation ------------------------------------- #
+
+    def device_bw(self, streams: int, read: bool = False) -> float:
+        """One member's effective bandwidth (bytes/ns) under ``streams``
+        concurrent delegation streams: per-stream bandwidth accumulates
+        until the device's saturation point (the bandwidth curve OdinFS's
+        per-socket delegate sizing targets)."""
+        per = self.pm_stream_read_bw if read else self.pm_stream_write_bw
+        peak = self.pm_dev_read_bw if read else self.pm_dev_write_bw
+        return min(peak, max(1, streams) * per)
+
+    def delegate_service_time(self, nbytes: int, devices: int = 1,
+                              read: bool = False) -> float:
+        """Time one delegation worker holds its device for this extent's
+        per-device share: the device's media latency plus the share at a
+        single stream's bandwidth.  This is the ``use``-resource service
+        time of the odinfs recipe — concurrency across devices (and queuing
+        behind a saturated one) is emergent from the DES."""
+        lat = self.pm_read_lat if read else self.pm_write_lat
+        share = math.ceil(nbytes / max(1, devices))
+        per = self.pm_stream_read_bw if read else self.pm_stream_write_bw
+        return lat + share / per
+
+    def delegate_io_time(self, nbytes: int, devices: int = 1,
+                         workers_per_device: int = 1,
+                         read: bool = False) -> float:
+        """End-to-end modeled time of one delegated extent I/O: enqueue the
+        batch, then every member drives its share in parallel at the
+        bandwidth ``workers_per_device`` streams achieve against it."""
+        lat = self.pm_read_lat if read else self.pm_write_lat
+        share = math.ceil(nbytes / max(1, devices))
+        return (self.delegate_enqueue + lat
+                + share / self.device_bw(workers_per_device, read))
 
 
 #: The model instance used throughout the benchmarks.

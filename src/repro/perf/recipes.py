@@ -309,12 +309,19 @@ def _kernel(fs: str, op: str, ctx: Dict, cost: CostModel,
         size = ctx.get("size", 4096)
         out = [("syscall",), ("cpu", 200.0)]
         if fs == "odinfs" and size >= 4096:
-            # Delegation: NUMA-local access by per-socket worker threads.
+            # Delegation, grounded in the striped-array mechanism
+            # (pm/array.py + pm/delegation.py): the extent is enqueued and
+            # fans out across per-device delegation queues — one queue per
+            # NUMA-local PM device, each with a bounded worker pool.  The
+            # service time is the per-device share at one stream's
+            # bandwidth (costmodel.delegate_service_time); queueing behind
+            # a saturated device is emergent from the DES `use` resource.
+            ndev = cost.sockets
             out += [
-                ("cpu", cost.odinfs_delegate_rtt),
-                ("use", f"odinfs.delegate.s{tid % 2}",
-                 (cost.pm_write_lat if op == "write" else cost.pm_read_lat)
-                 + cost.pm_bw_time(size, read=(op == "read")),
+                ("cpu", cost.delegate_enqueue),
+                ("use", f"pm.dev{tid % ndev}.delegate",
+                 cost.delegate_service_time(size, devices=ndev,
+                                            read=(op == "read")),
                  cost.odinfs_delegates_per_socket),
             ]
         else:

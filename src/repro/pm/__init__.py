@@ -21,6 +21,8 @@ demonstrate the §4.2 bug and to prove the ArckFS+ fence closes it.
 """
 
 from repro.pm.device import CACHE_LINE, PMDevice, PMStats
+from repro.pm.array import PMArray, reboot_device
+from repro.pm.delegation import DelegationPool
 from repro.pm.mapping import Mapping
 from repro.pm.crash import CrashSim
 from repro.pm.allocator import PageAllocator
@@ -29,9 +31,12 @@ from repro.pm import layout
 __all__ = [
     "CACHE_LINE",
     "PMDevice",
+    "PMArray",
     "PMStats",
+    "DelegationPool",
     "Mapping",
     "CrashSim",
     "PageAllocator",
     "layout",
+    "reboot_device",
 ]

@@ -325,9 +325,12 @@ class PageAllocator:
         if run_start is not None:
             runs.append((run_start, run_len))
         for start, count in runs:
-            off = self._geom.page_off(start)
-            self._device.store(off, _ZERO_PAGE * count)
-            self._device.clwb(off, count * PAGE_SIZE)
+            # Consecutive page numbers are physically contiguous only within
+            # a stripe unit; split each logical run at unit boundaries.
+            for phys_start, phys_count in self._geom.extent_runs(start, count):
+                off = self._geom.page_off(phys_start)
+                self._device.store(off, _ZERO_PAGE * phys_count)
+                self._device.clwb(off, phys_count * PAGE_SIZE)
         self._device.sfence()
 
     # ------------------------------------------------------------------ #

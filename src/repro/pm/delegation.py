@@ -1,0 +1,122 @@
+"""Per-device I/O delegation queues for the striped PM array.
+
+OdinFS's core scaling trick is *delegation*: instead of every application
+thread touching PM directly (and paying remote-NUMA latency plus write-
+pending-queue contention), large accesses are handed to a small pool of
+worker threads pinned near each device, which drive the device at its
+saturation bandwidth.  :class:`DelegationPool` models that functionally:
+one FIFO work queue per array member, each drained by ``workers`` threads,
+with a synchronous ``run(batch)`` facade so the caller — the extent-
+batched data path — observes exactly the semantics of doing the I/O
+itself while the per-device fan-out is real (visible in per-member
+``PMStats`` and the ``pm.delegated_ops{device=}`` counters).
+
+``workers=0`` (the default) degenerates to inline execution on the
+calling thread: no threads are spawned, ordering is the caller's own
+program order, and a single-member array behaves byte- and counter-
+identically to a flat :class:`~repro.pm.device.PMDevice`.  The *time*
+such workers would save is modeled separately, by
+:meth:`repro.perf.costmodel.CostModel.delegate_io_time` and its
+per-device bandwidth-saturation curve.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable, List, Tuple
+
+_SHUTDOWN = object()
+
+
+class _Latch:
+    """Count-down latch: ``run`` submits N jobs and waits for all of them."""
+
+    def __init__(self, count: int):
+        self._count = count
+        self._cv = threading.Condition()
+
+    def count_down(self) -> None:
+        with self._cv:
+            self._count -= 1
+            if self._count <= 0:
+                self._cv.notify_all()
+
+    def wait(self) -> None:
+        with self._cv:
+            while self._count > 0:
+                self._cv.wait()
+
+
+class DelegationPool:
+    """``ndevices`` work queues, each drained by ``workers`` daemon threads.
+
+    Jobs are plain closures already bound to their member device; the pool
+    adds nothing but placement (which queue) and completion tracking, so a
+    crash of the simulated device inside a job surfaces in the submitting
+    thread, exactly as if the I/O had been inline.
+    """
+
+    def __init__(self, ndevices: int, workers: int = 0, name: str = "pm"):
+        self.ndevices = max(1, ndevices)
+        self.workers = max(0, workers)
+        self._closed = False
+        self._queues: List[queue.Queue] = []
+        self._threads: List[threading.Thread] = []
+        if self.workers > 0:
+            for d in range(self.ndevices):
+                q: queue.Queue = queue.Queue()
+                self._queues.append(q)
+                for w in range(self.workers):
+                    t = threading.Thread(
+                        target=self._drain, args=(q,),
+                        name=f"{name}-delegate-d{d}w{w}", daemon=True)
+                    t.start()
+                    self._threads.append(t)
+
+    @staticmethod
+    def _drain(q: queue.Queue) -> None:
+        while True:
+            item = q.get()
+            if item is _SHUTDOWN:
+                q.put(_SHUTDOWN)  # wake sibling workers on the same queue
+                return
+            fn, latch, errors = item
+            try:
+                fn()
+            except BaseException as exc:  # re-raised by the submitter
+                errors.append(exc)
+            finally:
+                latch.count_down()
+
+    def run(self, batch: List[Tuple[int, Callable[[], None]]]) -> None:
+        """Execute ``(device_index, closure)`` jobs and wait for all.
+
+        Jobs for distinct devices proceed in parallel (when workers are
+        live); the call returns only once every job finished, and the
+        first job exception re-raises here.  With no workers — or after
+        :meth:`shutdown` — jobs run inline in submission order.
+        """
+        if not batch:
+            return
+        if self.workers <= 0 or self._closed or not self._queues:
+            for _d, fn in batch:
+                fn()
+            return
+        latch = _Latch(len(batch))
+        errors: List[BaseException] = []
+        for d, fn in batch:
+            self._queues[d % self.ndevices].put((fn, latch, errors))
+        latch.wait()
+        if errors:
+            raise errors[0]
+
+    def shutdown(self) -> None:
+        """Stop the worker threads; later ``run`` calls execute inline."""
+        if self._closed:
+            return
+        self._closed = True
+        for q in self._queues:
+            q.put(_SHUTDOWN)
+        for t in self._threads:
+            t.join(timeout=5.0)

@@ -90,15 +90,21 @@ class PMDevice:
         reachable crash states can be enumerated.  Benchmarks that never
         crash can disable it; stores then hit media directly (functional
         behaviour is identical, crash states are unavailable).
+    device_id:
+        Member index when this device is one slice of a
+        :class:`~repro.pm.array.PMArray`; persist-call counters then carry
+        a ``device=`` label so the fan-out is observable per member.
     """
 
-    def __init__(self, size: int, *, crash_tracking: bool = True):
+    def __init__(self, size: int, *, crash_tracking: bool = True,
+                 device_id: Optional[int] = None):
         if size <= 0:
             raise ValueError("device size must be positive")
         # Round up to a whole number of lines.
         self.size = (size + CACHE_LINE - 1) // CACHE_LINE * CACHE_LINE
         self.media = bytearray(self.size)
         self.crash_tracking = crash_tracking
+        self.device_id = device_id
         self.stats = PMStats()
         self._lines: Dict[int, _Line] = {}
         self._lock = threading.Lock()
@@ -211,7 +217,10 @@ class PMDevice:
     def sfence(self) -> None:
         """Complete all queued write-backs; they are durable from here on."""
         self.stats.fences += 1
-        obs.count("pm.persist_calls")
+        if self.device_id is None:
+            obs.count("pm.persist_calls")
+        else:
+            obs.count("pm.persist_calls", device=self.device_id)
         if not self.crash_tracking:
             return
         with self._lock:
@@ -352,9 +361,11 @@ class PMDevice:
     # ------------------------------------------------------------------ #
 
     @classmethod
-    def from_image(cls, image: bytes, *, crash_tracking: bool = True) -> "PMDevice":
+    def from_image(cls, image: bytes, *, crash_tracking: bool = True,
+                   device_id: Optional[int] = None) -> "PMDevice":
         """Boot a device from a crash (or durable) image — i.e. 'reboot'."""
-        dev = cls(len(image), crash_tracking=crash_tracking)
+        dev = cls(len(image), crash_tracking=crash_tracking,
+                  device_id=device_id)
         dev.media[:] = image
         return dev
 

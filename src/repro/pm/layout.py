@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
 PAGE_SIZE = 4096
 SB_MAGIC = 0x41524B46_532B5250  # "ARKF S+RP"
@@ -41,8 +41,9 @@ ITYPE_DIR = 2
 # Superblock
 # --------------------------------------------------------------------------- #
 
-# magic, size, block, ninodes, itable, bitmap, data, root, tx_log_head
-_SB = struct.Struct("<QQIIQQQQQ")
+# magic, size, block, ninodes, itable, bitmap, data, root, tx_log_head,
+# devices, stripe_pages
+_SB = struct.Struct("<QQIIQQQQQII")
 
 #: Offset of the ``tx_log_head`` field — 8-byte aligned and inside the
 #: superblock's first cache line, so a single ``atomic_store`` publishes a
@@ -63,8 +64,14 @@ class Superblock:
     #: Head page of a sealed (durable, unapplied) transaction redo log;
     #: 0 means no transaction is pending.
     tx_log_head: int = 0
+    #: Member count of the striped :class:`~repro.pm.array.PMArray` this
+    #: volume lives on; 1 means one flat device (the historical layout —
+    #: every striping field degenerates so the two are byte-compatible).
+    devices: int = 1
+    #: Pages per stripe unit (the striping granularity).
+    stripe_pages: int = 1
 
-    SIZE = 64
+    SIZE = 128
 
     def pack(self) -> bytes:
         raw = _SB.pack(
@@ -77,6 +84,8 @@ class Superblock:
             self.data_off,
             self.root_ino,
             self.tx_log_head,
+            self.devices,
+            self.stripe_pages,
         )
         return raw.ljust(self.SIZE, b"\0")
 
@@ -88,6 +97,51 @@ class Superblock:
     @property
     def valid(self) -> bool:
         return self.magic == SB_MAGIC
+
+
+# --------------------------------------------------------------------------- #
+# Array member labels
+# --------------------------------------------------------------------------- #
+
+ARRAY_MAGIC = 0x41524B41_52524159  # "ARKA RRAY"
+
+# magic, device_index, device_count, stripe_pages, pad, dev_size
+_LABEL = struct.Struct("<QIIIIQ")
+
+
+@dataclass
+class ArrayLabel:
+    """The per-member identity record of a striped multi-device array.
+
+    Device 0 of an array carries the real superblock; every other member
+    reserves the same ``data_off`` metadata region and stamps this label at
+    its base instead.  fsck cross-checks each label against the superblock
+    (the ``stripe-label`` finding class), so a member swapped in from a
+    different array — or a label clobbered by a stray write — is caught
+    before its stripe units are trusted.
+    """
+
+    device_index: int
+    device_count: int
+    stripe_pages: int
+    dev_size: int
+    magic: int = ARRAY_MAGIC
+
+    SIZE = 64
+
+    def pack(self) -> bytes:
+        raw = _LABEL.pack(self.magic, self.device_index, self.device_count,
+                          self.stripe_pages, 0, self.dev_size)
+        return raw.ljust(self.SIZE, b"\0")
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "ArrayLabel":
+        magic, idx, count, stripe, _pad, dev_size = _LABEL.unpack_from(raw)
+        return cls(idx, count, stripe, dev_size, magic)
+
+    @property
+    def valid(self) -> bool:
+        return self.magic == ARRAY_MAGIC
 
 
 # --------------------------------------------------------------------------- #
@@ -254,7 +308,18 @@ class PageHeader:
 
 @dataclass
 class Geometry:
-    """Derived offsets for a device of a given size and inode budget."""
+    """Derived offsets for a device of a given size and inode budget.
+
+    With ``devices > 1`` the volume lives on a striped
+    :class:`~repro.pm.array.PMArray`: the flat logical address space is the
+    concatenation of ``devices`` equal members of ``dev_size`` bytes, every
+    member reserves the first ``data_off`` bytes for metadata (device 0
+    holds the real superblock/inode table/bitmap, the rest carry an
+    :class:`ArrayLabel`), and stripe units of ``stripe_pages`` pages
+    round-robin across members.  All striping lives in :meth:`page_off`, so
+    every consumer of page numbers — allocator, fsck, crash enumeration —
+    works unchanged on either shape.
+    """
 
     device_size: int
     inode_count: int
@@ -262,9 +327,15 @@ class Geometry:
     bitmap_off: int
     data_off: int
     page_count: int
+    #: Striping shape; ``devices == 1`` is the flat single-device layout.
+    devices: int = 1
+    stripe_pages: int = 1
+    dev_size: int = 0
+    pages_per_dev: int = 0
 
     @classmethod
-    def compute(cls, device_size: int, inode_count: int) -> "Geometry":
+    def compute(cls, device_size: int, inode_count: int,
+                devices: int = 1, stripe_pages: int = 1) -> "Geometry":
         itable_off = Superblock.SIZE
         itable_bytes = inode_count * INODE_SIZE
         bitmap_off = itable_off + itable_bytes
@@ -273,8 +344,32 @@ class Geometry:
         bitmap_bytes = (approx_pages + 7) // 8
         data_off = bitmap_off + bitmap_bytes
         data_off = (data_off + PAGE_SIZE - 1) // PAGE_SIZE * PAGE_SIZE
-        page_count = max(0, (device_size - data_off) // PAGE_SIZE)
-        return cls(device_size, inode_count, itable_off, bitmap_off, data_off, page_count)
+        devices = max(1, devices)
+        stripe_pages = max(1, stripe_pages)
+        if devices == 1:
+            page_count = max(0, (device_size - data_off) // PAGE_SIZE)
+            dev_size = device_size
+            pages_per_dev = page_count
+        else:
+            dev_size = device_size // devices
+            if data_off >= dev_size:
+                raise ValueError(
+                    f"array members of {dev_size} bytes cannot hold the "
+                    f"{data_off}-byte metadata reservation")
+            # Whole stripe units only, so the round-robin map is total.
+            raw_pages = (dev_size - data_off) // PAGE_SIZE
+            pages_per_dev = (raw_pages // stripe_pages) * stripe_pages
+            page_count = devices * pages_per_dev
+        return cls(device_size, inode_count, itable_off, bitmap_off,
+                   data_off, page_count, devices, stripe_pages, dev_size,
+                   pages_per_dev)
+
+    @property
+    def bitmap_capacity_bytes(self) -> int:
+        """Bytes of the reserved bitmap region (covers ``approx_pages``,
+        which always exceeds ``page_count`` — the slack bits past the last
+        real page are what the ``stripe-orphan`` fsck check polices)."""
+        return (max(1, self.device_size // PAGE_SIZE) + 7) // 8
 
     def inode_off(self, ino: int) -> int:
         if not 0 <= ino < self.inode_count:
@@ -285,4 +380,40 @@ class Geometry:
         if not 1 <= page_no <= self.page_count:
             raise ValueError(f"page {page_no} out of range")
         # Page numbers are 1-based so that 0 can mean "no page".
-        return self.data_off + (page_no - 1) * PAGE_SIZE
+        if self.devices <= 1:
+            return self.data_off + (page_no - 1) * PAGE_SIZE
+        unit, in_unit = divmod(page_no - 1, self.stripe_pages)
+        device = unit % self.devices
+        local = (unit // self.devices) * self.stripe_pages + in_unit
+        return device * self.dev_size + self.data_off + local * PAGE_SIZE
+
+    def page_device(self, page_no: int) -> "Tuple[int, int]":
+        """The (member index, member-local byte offset) a page maps to."""
+        off = self.page_off(page_no)
+        if self.devices <= 1:
+            return 0, off
+        return off // self.dev_size, off % self.dev_size
+
+    def extent_runs(self, start_page: int, npages: int):
+        """Split ``npages`` consecutive page numbers into physically
+        contiguous ``(first_page, count)`` runs.
+
+        On a flat device consecutive page numbers are always contiguous
+        (one run); on a striped array contiguity breaks at every stripe-
+        unit boundary, where the next page lands on the next member.  The
+        extent-batched data path and the allocator's batched zeroing both
+        stream one store per run.
+        """
+        if npages <= 0:
+            return
+        if self.devices <= 1:
+            yield start_page, npages
+            return
+        page = start_page
+        remaining = npages
+        while remaining > 0:
+            in_unit = (page - 1) % self.stripe_pages
+            take = min(remaining, self.stripe_pages - in_unit)
+            yield page, take
+            page += take
+            remaining -= take

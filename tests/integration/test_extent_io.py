@@ -12,6 +12,8 @@ import pytest
 from repro.core.config import ARCKFS_PLUS, ArckConfig
 from repro.kernel.controller import KernelController
 from repro.libfs.libfs import LibFS
+from repro.pm.array import PMArray
+from repro.pm.crash import CrashSim
 from repro.pm.device import PMDevice
 from repro.pm.layout import PAGE_SIZE
 
@@ -113,3 +115,88 @@ class TestPersistCost:
         before = device.stats.fences
         fs.pwrite(fd, b"q" * MiB, 0)
         assert device.stats.fences - before <= 16
+
+
+def build_striped(devices=2, stripe_pages=2, size=8 * 1024 * 1024,
+                  crash_tracking=False):
+    device = PMArray(size, devices=devices, stripe_pages=stripe_pages,
+                     crash_tracking=crash_tracking)
+    kernel = KernelController.fresh(device, inode_count=128,
+                                    config=ARCKFS_PLUS)
+    return device, LibFS(kernel, "extent-io", uid=0, config=ARCKFS_PLUS)
+
+
+class TestStriped:
+    """The extent path over a striped 2-device array."""
+
+    def test_roundtrip_and_fanout(self):
+        device, fs = build_striped()
+        payload = bytes(range(256)) * (MiB // 256)
+        fd = fs.creat("/big")
+        assert fs.pwrite(fd, payload, 0) == MiB
+        assert fs.pread(fd, MiB, 0) == payload
+        # Striping is real: both members stored a comparable share.
+        stored = [s.bytes_stored for s in device.device_stats]
+        assert all(b > MiB // 4 for b in stored), stored
+
+    def test_contents_agree_with_flat_volume(self):
+        """Same op stream, identical file contents, striped or flat."""
+        ops = [
+            (b"x" * (64 * 1024), 0),
+            (b"y" * 5000, 3 * PAGE_SIZE + 17),
+            (b"z" * PAGE_SIZE, 100 * PAGE_SIZE),
+            (b"w" * 10, 5),
+        ]
+        images = []
+        for maker in (lambda: build(ARCKFS_PLUS),
+                      lambda: build_striped(devices=2, stripe_pages=4)):
+            _device, fs = maker()
+            fd = fs.creat("/f")
+            for data, off in ops:
+                fs.pwrite(fd, data, off)
+            size = fs.stat("/f").size
+            images.append((size, fs.pread(fd, size, 0)))
+        assert images[0] == images[1]
+
+    def test_unaligned_straddle_across_stripe_units(self):
+        _device, fs = build_striped(devices=2, stripe_pages=1)
+        # stripe_pages=1 alternates devices every page, so this 3-page
+        # write crosses a device boundary at every page edge.
+        fd = fs.creat("/straddle")
+        payload = b"\xc3" * (3 * PAGE_SIZE)
+        fs.pwrite(fd, payload, 1000)
+        assert fs.pread(fd, len(payload), 1000) == payload
+
+
+class TestStripedCrash:
+    """A torn multi-device extent write keeps the leak-only crash story."""
+
+    def _torn_write(self):
+        device, fs = build_striped(devices=2, stripe_pages=2,
+                                   crash_tracking=True)
+        fd = fs.creat("/doc")
+        device.drain()  # narrow enumeration to the extent write itself
+        # 4 pages at stripe 2 over 2 devices: the extent spans both
+        # members, so the torn write has in-flight lines on each.
+        fs.pwrite(fd, b"\x7e" * (4 * PAGE_SIZE), 0)
+        return device
+
+    def test_torn_extent_write_is_leak_only(self):
+        from repro.fsck import TORN_CLASSES
+        from repro.fsck.findings import (
+            F_PAGE_DOUBLE_USE,
+            F_PAGE_UNALLOCATED,
+            F_STRIPE_LABEL,
+            F_STRIPE_ORPHAN,
+        )
+
+        device = self._torn_write()
+        sim = CrashSim(device)
+        bad = TORN_CLASSES | {F_PAGE_UNALLOCATED, F_PAGE_DOUBLE_USE,
+                              F_STRIPE_ORPHAN, F_STRIPE_LABEL}
+        assert sim.find_fsck_violation(bad, sample=64) is None
+
+    def test_torn_extent_write_is_repairable(self):
+        device = self._torn_write()
+        sim = CrashSim(device)
+        assert sim.find_fsck_violation(repair=True, sample=16) is None

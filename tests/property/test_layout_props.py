@@ -1,9 +1,10 @@
 """Property tests: binary layouts round-trip for all field values."""
 
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.pm.layout import (
+    ArrayLabel,
     Dentry,
     Geometry,
     InodeRecord,
@@ -21,11 +22,21 @@ names = st.binary(min_size=1, max_size=255)
 
 class TestRoundTrips:
     @given(magic=u64, size=u64, block=u32, ninodes=u32, itable=u64,
-           bitmap=u64, data=u64, root=u64)
-    def test_superblock(self, magic, size, block, ninodes, itable, bitmap, data, root):
-        sb = Superblock(magic, size, block, ninodes, itable, bitmap, data, root)
+           bitmap=u64, data=u64, root=u64, devices=u32, stripe=u32)
+    def test_superblock(self, magic, size, block, ninodes, itable, bitmap,
+                        data, root, devices, stripe):
+        sb = Superblock(magic, size, block, ninodes, itable, bitmap, data,
+                        root, devices=devices, stripe_pages=stripe)
         assert Superblock.unpack(sb.pack()) == sb
         assert len(sb.pack()) == Superblock.SIZE
+
+    @given(idx=u32, count=u32, stripe=u32, dev_size=u64)
+    def test_array_label(self, idx, count, stripe, dev_size):
+        label = ArrayLabel(idx, count, stripe, dev_size)
+        back = ArrayLabel.unpack(label.pack())
+        assert back == label
+        assert back.valid
+        assert len(label.pack()) == ArrayLabel.SIZE
 
     @given(magic=u32, itype=u8, mode=u16, uid=u32, gen=u32, size=u64,
            nlink=u32, seq=u32, index_root=u64,
@@ -71,3 +82,56 @@ class TestGeometry:
         g = Geometry.compute(size, inodes)
         offs = {g.inode_off(i) for i in range(inodes)}
         assert len(offs) == inodes
+
+
+class TestStripedGeometry:
+    striped = given(size=st.integers(1 << 22, 1 << 26),
+                    inodes=st.integers(16, 512),
+                    devices=st.integers(1, 8),
+                    stripe=st.integers(1, 16))
+
+    @striped
+    @settings(max_examples=50)
+    def test_page_map_bijective_and_in_bounds(self, size, inodes, devices,
+                                              stripe):
+        g = Geometry.compute(size, inodes, devices=devices,
+                             stripe_pages=stripe)
+        assume(g.page_count > 0)
+        seen = set()
+        for p in range(1, g.page_count + 1):
+            off = g.page_off(p)
+            d, local = g.page_device(p)
+            # Every page maps to exactly one device-local page slot...
+            assert 0 <= d < max(1, g.devices)
+            assert g.data_off <= local <= g.dev_size - 4096
+            assert (local - g.data_off) % 4096 == 0
+            # ...the flat offset agrees, and no two pages collide.
+            assert off == d * g.dev_size + local
+            assert off not in seen
+            seen.add(off)
+
+    @striped
+    @settings(max_examples=50)
+    def test_extent_runs_cover_exactly(self, size, inodes, devices, stripe):
+        g = Geometry.compute(size, inodes, devices=devices,
+                             stripe_pages=stripe)
+        assume(g.page_count >= 2)
+        start = 1 + (size % max(1, g.page_count - 1))
+        npages = min(g.page_count - start + 1, 3 * stripe + 1)
+        runs = list(g.extent_runs(start, npages))
+        # Exact coverage: the runs partition [start, start+npages).
+        covered = []
+        for run_start, count in runs:
+            assert count >= 1
+            covered.extend(range(run_start, run_start + count))
+        assert covered == list(range(start, start + npages))
+        # Physical contiguity within every run.
+        for run_start, count in runs:
+            base = g.page_off(run_start)
+            for i in range(count):
+                assert g.page_off(run_start + i) == base + i * 4096
+        # On a striped array no run crosses a stripe-unit boundary.
+        if g.devices > 1:
+            for run_start, count in runs:
+                unit = (run_start - 1) // g.stripe_pages
+                assert (run_start + count - 2) // g.stripe_pages == unit

@@ -14,8 +14,10 @@ from repro.cli import main
 from repro.fsck import (
     ALL_CLASSES,
     INJECTORS,
+    F_STRIPE_LABEL,
     F_SUPERBLOCK,
     build_volume,
+    inject_stripe_label,
     run_fsck,
 )
 from repro.fsck.parallel import stride_shards
@@ -64,6 +66,43 @@ def test_injected_corruption_repairs_clean(name):
     # The final report *is* a fresh re-check proving the repaired volume clean.
     recheck = run_fsck(device)
     assert recheck.clean, recheck.summary()
+
+
+class TestStripedVolume:
+    """fsck over a striped 2-device array: clean pass, stripe-label
+    detect/repair, and the stripe-orphan slack-bit story."""
+
+    def _volume(self):
+        return build_volume(devices=2, stripe_pages=4)
+
+    def test_fresh_striped_volume_is_clean(self):
+        device, _kernel, _fs = self._volume()
+        report = run_fsck(device)
+        assert report.clean, report.summary()
+
+    def test_stripe_label_detected_and_repaired(self):
+        device, _kernel, _fs = self._volume()
+        inject_stripe_label(device)
+        report = run_fsck(device)
+        assert F_STRIPE_LABEL in report.classes(), report.summary()
+        repaired = run_fsck(device, repair=True)
+        assert repaired.clean, repaired.summary()
+        assert F_STRIPE_LABEL in repaired.repairs
+        assert run_fsck(device).clean
+
+    def test_stripe_label_injector_requires_array(self):
+        device, _kernel, _fs = build_volume()  # flat, single device
+        with pytest.raises(RuntimeError):
+            inject_stripe_label(device)
+
+    def test_stripe_orphan_detected_on_array(self):
+        device, _kernel, _fs = self._volume()
+        inject, expected_cls = INJECTORS["stripe-orphan"]
+        inject(device)
+        report = run_fsck(device)
+        assert expected_cls in report.classes(), report.summary()
+        repaired = run_fsck(device, repair=True)
+        assert repaired.clean, repaired.summary()
 
 
 def test_findings_deterministic_across_workers():
